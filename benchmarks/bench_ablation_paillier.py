@@ -1,0 +1,80 @@
+"""Ablation: cryptographic cost drivers of Protocol 1.
+
+Two design choices DESIGN.md calls out:
+
+1. **Paillier key size** -- the per-operation cost of keygen, encryption,
+   scalar multiplication (the dominant op: one per user per coordinate per
+   silo per round), and decryption, at 256/512/1024-bit moduli.  The paper
+   runs 3072-bit; the scaling justifies the smaller default in tests.
+2. **C_LCM growth** -- lcm(1..N_max) grows like e^{N_max}, which inflates
+   every scalar in the encrypted weighting; restricting admissible user
+   record counts (the paper suggests powers of ten) keeps it tiny.
+"""
+
+import random
+
+from conftest import print_header
+
+from repro.crypto.encoding import lcm_of_counts, lcm_up_to
+from repro.crypto.paillier import generate_paillier_keypair
+
+
+def test_paillier_operation_costs(benchmark):
+    """Benchmark the dominant homomorphic operation at the default size."""
+    rng = random.Random(0)
+    kp = generate_paillier_keypair(512, rng=rng)
+    ct = kp.public_key.encrypt(12345, rng=rng)
+    scalar = rng.randrange(kp.public_key.n)
+
+    benchmark(lambda: kp.public_key.mul_scalar(ct, scalar))
+
+    print_header("Ablation: Paillier cost per operation by key size")
+    import time
+
+    print(f"{'bits':>6s} {'keygen':>10s} {'encrypt':>10s} {'mul_scalar':>11s} {'decrypt':>10s}")
+    for bits in (256, 512, 1024):
+        t0 = time.perf_counter()
+        kp_b = generate_paillier_keypair(bits, rng=random.Random(bits))
+        t_keygen = time.perf_counter() - t0
+
+        r = random.Random(1)
+        t0 = time.perf_counter()
+        for _ in range(20):
+            c = kp_b.public_key.encrypt(999, rng=r)
+        t_enc = (time.perf_counter() - t0) / 20
+
+        s = r.randrange(kp_b.public_key.n)
+        t0 = time.perf_counter()
+        for _ in range(20):
+            kp_b.public_key.mul_scalar(c, s)
+        t_mul = (time.perf_counter() - t0) / 20
+
+        t0 = time.perf_counter()
+        for _ in range(20):
+            kp_b.private_key.decrypt(c)
+        t_dec = (time.perf_counter() - t0) / 20
+
+        print(
+            f"{bits:6d} {t_keygen * 1000:8.1f}ms {t_enc * 1000:8.2f}ms "
+            f"{t_mul * 1000:9.2f}ms {t_dec * 1000:8.2f}ms"
+        )
+
+
+def test_clcm_growth(benchmark):
+    """C_LCM explodes with N_max; restricted count sets stay tiny."""
+    values = benchmark.pedantic(
+        lambda: {n: lcm_up_to(n) for n in (10, 20, 40, 80)}, rounds=1, iterations=1
+    )
+
+    print_header("Ablation: C_LCM = lcm(1..N_max) growth")
+    print(f"{'N_max':>6s} {'bits(C_LCM)':>12s}")
+    for n, v in values.items():
+        print(f"{n:6d} {v.bit_length():12d}")
+    restricted = lcm_of_counts([10, 100, 1000, 10000])
+    print(f"\nrestricted counts {{10,100,1000,10000}}: C_LCM = {restricted} "
+          f"({restricted.bit_length()} bits)")
+
+    # Exponential growth: bits roughly double when N_max doubles.
+    assert values[80].bit_length() > 1.7 * values[40].bit_length()
+    # The paper's mitigation keeps it trivially small.
+    assert restricted == 10_000

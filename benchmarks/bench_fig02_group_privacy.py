@@ -1,0 +1,62 @@
+"""Figure 2: group-privacy conversion blow-up.
+
+Paper setting, reproduced exactly (accounting is pure computation, so no
+scaling is needed): sub-sampled Gaussian mechanism with sigma = 5.0,
+sampling rate q = 0.01, 1e5 iterations, delta = 1e-5; group sizes
+k = 1, 2, 4, 8, 16, 32, 64; both conversion routes (group privacy of RDP,
+Lemma 6; and of normal DP, Lemma 5 + footnote-1 binary search).
+
+Paper reports (RDP route): eps = 2.85 at k=1, ~2100 at k=32, ~11400 at
+k=64 -- a super-linear explosion.  The RDP and normal-DP routes should stay
+within roughly 3x of each other for small k.
+"""
+
+from conftest import print_header
+
+from repro.accounting.conversion import rdp_curve_to_dp
+from repro.accounting.group import group_epsilon_via_normal_dp, group_epsilon_via_rdp
+from repro.accounting.subsampled import subsampled_gaussian_rdp_curve
+
+SIGMA = 5.0
+Q = 0.01
+STEPS = 100_000
+DELTA = 1e-5
+GROUP_SIZES = [1, 2, 4, 8, 16, 32, 64]
+
+
+def compute_figure2():
+    curve = subsampled_gaussian_rdp_curve(Q, SIGMA, steps=STEPS)
+    rows = []
+    for k in GROUP_SIZES:
+        if k == 1:
+            eps_rdp, _ = rdp_curve_to_dp(curve, DELTA)
+            eps_dp = eps_rdp
+        else:
+            eps_rdp = group_epsilon_via_rdp(curve, k, DELTA)
+            eps_dp = group_epsilon_via_normal_dp(curve, k, DELTA)
+        rows.append((k, eps_rdp, eps_dp))
+    return rows
+
+
+def test_fig02_group_privacy_conversion(benchmark):
+    rows = benchmark.pedantic(compute_figure2, rounds=1, iterations=1)
+
+    print_header(
+        f"Figure 2: GDP epsilon vs group size k "
+        f"(sigma={SIGMA}, q={Q}, steps={STEPS:,}, delta={DELTA})"
+    )
+    print(f"{'k':>4s} {'eps via RDP (Lemma 6)':>22s} {'eps via DP (Lemma 5)':>22s}")
+    for k, eps_rdp, eps_dp in rows:
+        print(f"{k:4d} {eps_rdp:22.2f} {eps_dp:22.2f}")
+
+    # Shape assertions matching the paper's observations.
+    eps_rdp = [r[1] for r in rows]
+    assert 2.5 < eps_rdp[0] < 3.2            # paper: 2.85 at k=1
+    assert all(b > a for a, b in zip(eps_rdp, eps_rdp[1:]))  # monotone
+    assert eps_rdp[5] > 1000                  # paper: ~2100 at k=32
+    assert eps_rdp[6] > 5000                  # paper: ~11400 at k=64
+    # Super-linear: doubling k far more than doubles epsilon at the tail.
+    assert eps_rdp[6] / eps_rdp[5] > 2.5
+    # Routes agree within the paper's "roughly three times at most".
+    for k, r, d in rows[1:4]:
+        assert max(r, d) / min(r, d) < 6.0

@@ -1,0 +1,78 @@
+"""Figure 6: privacy-utility trade-offs on HeartDisease (FLamby-style).
+
+Paper setting: 4 fixed hospital silos, logistic model (< 100 params),
+|U| in {50, 200} (n-bar ~ 10 / ~ 2.5), uniform and zipf allocation,
+sigma = 5.0.  The tiny model lets this bench run all method variants at
+paper-like round counts.
+"""
+
+import pytest
+from conftest import print_final_table, print_header, print_series_table, run_history
+
+from repro.core import Default, UldpAvg, UldpGroup, UldpNaive, UldpSgd
+from repro.data import build_heartdisease_benchmark
+
+SIGMA = 5.0
+ROUNDS = 10
+
+
+def make_methods():
+    return [
+        Default(local_epochs=2),
+        UldpNaive(noise_multiplier=SIGMA, local_epochs=2),
+        UldpGroup(group_size="max", noise_multiplier=SIGMA, local_steps=2,
+                  expected_batch_size=256, local_lr=1.0),
+        UldpGroup(group_size="median", noise_multiplier=SIGMA, local_steps=2,
+                  expected_batch_size=256, local_lr=1.0),
+        UldpGroup(group_size=2, noise_multiplier=SIGMA, local_steps=2,
+                  expected_batch_size=256, local_lr=1.0),
+        UldpSgd(noise_multiplier=SIGMA),
+        UldpAvg(noise_multiplier=SIGMA, local_epochs=2),
+        UldpAvg(noise_multiplier=SIGMA, local_epochs=2, weighting="proportional"),
+    ]
+
+
+def run_config(n_users, distribution):
+    fed = build_heartdisease_benchmark(
+        n_users=n_users, distribution=distribution, seed=8
+    )
+    histories = [run_history(fed, m, ROUNDS, seed=9) for m in make_methods()]
+    return fed, histories
+
+
+CONFIGS = [
+    pytest.param(50, "uniform", id="U50-uniform"),   # Fig 6a (n-bar ~ 15)
+    pytest.param(50, "zipf", id="U50-zipf"),         # Fig 6b
+    pytest.param(200, "uniform", id="U200-uniform"), # Fig 6c (n-bar ~ 3.7)
+    pytest.param(200, "zipf", id="U200-zipf"),       # Fig 6d
+]
+
+
+@pytest.mark.parametrize("n_users,distribution", CONFIGS)
+def test_fig06_heartdisease(benchmark, n_users, distribution):
+    fed, histories = benchmark.pedantic(
+        run_config, args=(n_users, distribution), rounds=1, iterations=1
+    )
+
+    print_header(
+        f"Figure 6 ({distribution}, |U|={n_users}): HeartDisease, "
+        f"n-bar={fed.mean_records_per_user():.1f}, sigma={SIGMA}"
+    )
+    print("\n-- accuracy per round --")
+    print_series_table(histories, "metric")
+    print("\n-- epsilon per round --")
+    print_series_table(histories, "epsilon")
+    print("\n-- final --")
+    print_final_table(histories)
+
+    by_name = {h.method: h.final for h in histories}
+    group_names = [n for n in by_name if n.startswith("ULDP-GROUP")]
+    # Every group-privacy epsilon dominates the direct ULDP epsilon.
+    for name in group_names:
+        assert by_name[name].epsilon > by_name["ULDP-AVG"].epsilon
+    # GROUP-max >= GROUP-median >= GROUP-2 in epsilon (larger k, worse bound),
+    # modulo the shared record-level base; monotone in k by construction.
+    k_eps = sorted(
+        (int(n.rsplit("-", 1)[1]), by_name[n].epsilon) for n in group_names
+    )
+    assert all(e1 <= e2 for (_, e1), (_, e2) in zip(k_eps, k_eps[1:]))

@@ -1,0 +1,59 @@
+"""Figure 12 (appendix): example record allocations on Creditcard.
+
+The paper plots, for |U| = 100 and |S| = 5, the per-user record counts
+colour-coded by silo under the uniform and zipf allocations.  This bench
+prints the summary statistics of those plots: the user-count distribution
+(max / median / min) and the average fraction of a user's records in their
+top silo -- near 1/|S| for uniform, high for zipf (alpha_silo = 2).
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.data import build_creditcard_benchmark
+
+
+def allocation_stats(distribution):
+    fed = build_creditcard_benchmark(
+        n_users=100, n_silos=5, distribution=distribution,
+        n_records=25_000, n_test=100, seed=19,
+    )
+    hist = fed.histogram()          # (|S|, |U|)
+    totals = hist.sum(axis=0)
+    present = totals > 0
+    top_silo_frac = hist[:, present].max(axis=0) / totals[present]
+    return {
+        "max": int(totals.max()),
+        "median": float(np.median(totals[present])),
+        "min": int(totals[present].min()),
+        "zero_users": int((~present).sum()),
+        "top_silo_frac": float(top_silo_frac.mean()),
+        "totals": totals,
+    }
+
+
+def test_fig12_record_allocation(benchmark):
+    stats = benchmark.pedantic(
+        lambda: {d: allocation_stats(d) for d in ("uniform", "zipf")},
+        rounds=1, iterations=1,
+    )
+
+    print_header("Figure 12: record allocation on Creditcard (|U|=100, |S|=5, 25K records)")
+    print(f"{'':<12s} {'max N_u':>8s} {'median':>8s} {'min':>6s} {'top-silo frac':>14s}")
+    for dist in ("uniform", "zipf"):
+        s = stats[dist]
+        print(
+            f"{dist:<12s} {s['max']:8d} {s['median']:8.1f} {s['min']:6d} "
+            f"{s['top_silo_frac']:14.3f}"
+        )
+
+    uniform, zipf = stats["uniform"], stats["zipf"]
+    # Uniform: counts concentrate near the mean (250), silos balanced (~0.2
+    # plus sampling noise on ~50 records per user per silo).
+    assert uniform["max"] < 2 * 250
+    assert uniform["top_silo_frac"] < 0.35
+    # Zipf: heavy skew across users and strong silo concentration.
+    assert zipf["max"] > 2 * zipf["median"]
+    assert zipf["top_silo_frac"] > 0.5
+    # Both allocate all 25K records.
+    assert uniform["totals"].sum() == zipf["totals"].sum() == 25_000

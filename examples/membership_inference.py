@@ -1,0 +1,49 @@
+"""Why user-level DP: membership inference at two granularities.
+
+Trains three models on the same cross-silo federation (with training-label
+noise, so that fitting implies memorising) and attacks each with
+loss-threshold membership inference -- once per record, once per *user*
+(averaging scores over all of a user's records across silos).
+
+The user-level attack is at least as strong as the record-level one on the
+non-private models (aggregating a user's records sharpens the signal: the
+paper's cumulative-risk argument for user-level DP), and ULDP-AVG training
+pushes both toward coin-flipping.
+
+Run:  python examples/membership_inference.py
+"""
+
+import numpy as np
+
+from repro.attacks import run_membership_experiment
+from repro.core import Default, UldpAvg
+from repro.data import build_creditcard_benchmark
+from repro.nn.model import build_tiny_mlp
+
+
+def main() -> None:
+    fed = build_creditcard_benchmark(
+        n_users=10, n_silos=2, n_records=60, n_test=60, seed=3
+    )
+    rng = np.random.default_rng(13)
+    for silo in fed.silos:
+        flip = rng.random(silo.n_records) < 0.3
+        silo.y = np.where(flip, 1 - silo.y, silo.y)
+    print(fed.summary())
+    print("(30% of training labels flipped to force memorisation)\n")
+
+    configs = [
+        ("overfit, non-private", Default(local_epochs=60, local_lr=0.3,
+                                         batch_size=None), 5),
+        ("ULDP-AVG, sigma=5", UldpAvg(noise_multiplier=5.0, local_epochs=1), 5),
+    ]
+    print(f"{'training':<22s} {'record AUC':>11s} {'user AUC':>9s}  (0.5 = chance)")
+    for label, method, rounds in configs:
+        model = build_tiny_mlp(30, 64, 2, np.random.default_rng(5))
+        result = run_membership_experiment(fed, method, rounds=rounds, seed=4,
+                                           model=model)
+        print(f"{label:<22s} {result.record_auc:11.3f} {result.user_auc:9.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""User-level non-iid MNIST: the failure mode and the fix.
+
+The paper observes (Fig. 5c vs 5f) that ULDP-AVG suffers under user-level
+non-iid label skew when users are few -- per-user gradients overfit each
+user's 2 labels -- but recovers as the user count grows.  This example
+contrasts iid and non-iid allocations at two user counts and also shows
+user-level sub-sampling (Algorithm 4) buying a smaller epsilon.
+
+Run:  python examples/mnist_noniid.py  (a few minutes: CNN training)
+"""
+
+from repro import Trainer, UldpAvg, build_mnist_benchmark
+
+ROUNDS = 4
+SIGMA = 5.0
+
+
+def run(n_users: int, non_iid: bool, user_sample_rate=None) -> None:
+    fed = build_mnist_benchmark(
+        n_users=n_users,
+        n_silos=5,
+        distribution="zipf",
+        non_iid=non_iid,
+        n_records=1_500,
+        n_test=400,
+        seed=0,
+    )
+    method = UldpAvg(
+        noise_multiplier=SIGMA,
+        local_epochs=1,
+        local_lr=0.05,
+        weighting="proportional",
+        user_sample_rate=user_sample_rate,
+    )
+    history = Trainer(fed, method, rounds=ROUNDS, seed=0).run()
+    final = history.final
+    label = "non-iid" if non_iid else "iid"
+    q = f" q={user_sample_rate}" if user_sample_rate else ""
+    print(
+        f"|U|={n_users:4d} {label:<7s}{q:<7s} "
+        f"accuracy={final.metric:.4f} loss={final.loss:.4f} eps={final.epsilon:.3f}"
+    )
+
+
+def main() -> None:
+    print(f"MNIST-like CNN, {ROUNDS} rounds, sigma={SIGMA}\n")
+    run(n_users=20, non_iid=False)
+    run(n_users=20, non_iid=True)     # hurts: few users, label skew
+    run(n_users=200, non_iid=False)
+    run(n_users=200, non_iid=True)    # much closer: many users average out
+    run(n_users=200, non_iid=False, user_sample_rate=0.5)  # amplification
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Protocol 1 end to end: private weighting with real cryptography.
+
+Runs ULDP-AVG-w where the enhanced Eq. (3) weights are applied *inside the
+encrypted domain*: the server never sees per-silo user histograms (only
+multiplicatively blinded totals), silos never see each other's weights, and
+the server decrypts only the aggregated model delta.  The script prints
+
+1. the training trajectory (identical to plaintext ULDP-AVG-w up to the
+   fixed-point precision P = 1e-10),
+2. the per-phase protocol timing breakdown (the paper's Fig. 10/11), and
+3. a peek at the server's view, demonstrating it is blinded field elements
+   rather than histogram counts.
+
+Run:  python examples/private_protocol_demo.py
+"""
+
+import numpy as np
+
+from repro import Trainer, build_heartdisease_benchmark
+from repro.core import UldpAvg
+from repro.protocol import SecureUldpAvg
+
+
+def main() -> None:
+    fed = build_heartdisease_benchmark(n_users=12, distribution="zipf", seed=0)
+    print(fed.summary())
+    print(f"true user totals N_u: {fed.user_totals().tolist()}\n")
+
+    secure = SecureUldpAvg(
+        noise_multiplier=5.0,
+        local_epochs=2,
+        paillier_bits=512,   # paper uses 3072-bit; smaller keeps the demo fast
+        precision=1e-10,
+    )
+    history = Trainer(fed, secure, rounds=3, seed=0).run()
+    for r in history.records:
+        print(f"round {r.round}: accuracy={r.metric:.4f} eps={r.epsilon:.3f}")
+
+    plain = UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting="proportional")
+    plain_history = Trainer(fed, plain, rounds=3, seed=0).run()
+    print(
+        f"\nplaintext ULDP-AVG-w accuracy (same seed): "
+        f"{plain_history.final.metric:.4f}  -- Theorem 4: identical up to P"
+    )
+
+    print("\nprotocol phase timings:")
+    for phase, seconds in sorted(secure.timing_report().items()):
+        print(f"  {phase:<26s} {seconds * 1000:9.1f} ms")
+
+    assert secure.protocol is not None
+    view = secure.protocol.view
+    print("\nserver view of user totals (blinded, mod n):")
+    for u, blinded in enumerate(view.blinded_totals[:4]):
+        print(f"  user {u}: N_u={int(fed.user_totals()[u])}  server sees {str(blinded)[:40]}...")
+    magnitudes = [b.bit_length() for b in view.blinded_totals]
+    print(f"  (blinded values are ~{int(np.mean(magnitudes))}-bit field elements)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: train a cross-silo model with user-level DP in ~30 seconds.
+
+Builds a small Creditcard-like federation (5 silos, 100 users whose records
+span silos), trains with ULDP-AVG (the paper's Algorithm 3), and prints the
+accuracy/epsilon trajectory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Trainer, UldpAvg, build_creditcard_benchmark
+
+
+def main() -> None:
+    # 5 credit-card companies; 100 customers, each possibly present at
+    # several companies (zipf-skewed record counts).
+    fed = build_creditcard_benchmark(
+        n_users=100,
+        n_silos=5,
+        distribution="zipf",
+        n_records=4_000,
+        n_test=1_000,
+        seed=0,
+    )
+    print(fed.summary())
+
+    method = UldpAvg(
+        clip=1.0,
+        noise_multiplier=5.0,   # the paper's sigma
+        local_epochs=2,
+        weighting="proportional",  # ULDP-AVG-w (Eq. 3)
+    )
+    trainer = Trainer(fed, method, rounds=10, delta=1e-5, seed=0)
+    history = trainer.run()
+
+    print(f"\n{'round':>5s} {'accuracy':>9s} {'test loss':>10s} {'eps (ULDP)':>11s}")
+    for r in history.records:
+        print(f"{r.round:5d} {r.metric:9.4f} {r.loss:10.4f} {r.epsilon:11.4f}")
+    print(f"\n=> {history.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .`/`setup.py develop` works without the wheel package."""
+from setuptools import setup
+
+setup()

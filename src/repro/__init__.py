@@ -1,0 +1,65 @@
+"""Reproduction of Uldp-FL (VLDB 2024): cross-silo user-level DP federated learning.
+
+Subpackages
+-----------
+- :mod:`repro.accounting` -- RDP/DP privacy accounting (Opacus-equivalent).
+- :mod:`repro.crypto` -- Paillier, DH, secure aggregation, blinding.
+- :mod:`repro.nn` -- numpy neural-network substrate with manual backprop.
+- :mod:`repro.data` -- synthetic datasets and user/silo record allocation.
+- :mod:`repro.core` -- the FL framework: ULDP-NAIVE/GROUP/AVG/SGD + FedAVG.
+- :mod:`repro.protocol` -- Protocol 1, the private weighting protocol.
+
+Quickstart::
+
+    from repro import build_creditcard_benchmark, Trainer, UldpAvg
+
+    fed = build_creditcard_benchmark(n_users=100, n_silos=5, seed=0)
+    method = UldpAvg(clip=1.0, noise_multiplier=5.0, local_epochs=2)
+    trainer = Trainer(fed, method, rounds=5, seed=0)
+    history = trainer.run()
+    print(history.summary())
+
+Top-level names are resolved lazily (PEP 562) so that importing one
+subpackage does not pull in the whole library.
+"""
+
+__version__ = "1.0.0"
+
+# name -> defining submodule, resolved on first attribute access.
+_LAZY_EXPORTS = {
+    "PrivacyAccountant": "repro.accounting",
+    "Default": "repro.core",
+    "Trainer": "repro.core",
+    "TrainingHistory": "repro.core",
+    "UldpAvg": "repro.core",
+    "UldpGroup": "repro.core",
+    "UldpNaive": "repro.core",
+    "UldpSgd": "repro.core",
+    "FederatedDataset": "repro.data",
+    "build_creditcard_benchmark": "repro.data",
+    "build_heartdisease_benchmark": "repro.data",
+    "build_mnist_benchmark": "repro.data",
+    "build_tcgabrca_benchmark": "repro.data",
+    "PrivateWeightingProtocol": "repro.protocol",
+    "SecureUldpAvg": "repro.protocol",
+    "calibrate_noise_multiplier": "repro.accounting",
+    "calibrate_sample_rate": "repro.accounting",
+    "run_experiment": "repro.experiments",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,112 @@
+"""Calibration: solve for the mechanism parameter hitting a target epsilon.
+
+The paper fixes sigma = 5.0 and reports the resulting epsilon; a deployment
+usually works the other way round -- "we are allowed eps = 2 at delta =
+1e-5 over T rounds; how much noise (or how little participation) does that
+need?".  These helpers invert the accountant by bisection:
+
+- :func:`calibrate_noise_multiplier` -- smallest sigma achieving the
+  target (the Opacus ``get_noise_multiplier`` equivalent), for ULDP-AVG /
+  ULDP-NAIVE rounds (optionally sub-sampled, Remark 1).
+- :func:`calibrate_sample_rate` -- largest user-level sampling rate q
+  achieving the target at a fixed sigma (Algorithm 4 tuning).
+
+Both rely on monotonicity: epsilon decreases in sigma and increases in q.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.accounting.conversion import rdp_curve_to_dp
+from repro.accounting.rdp import gaussian_rdp_curve
+from repro.accounting.subsampled import subsampled_gaussian_rdp_curve
+
+
+def _epsilon(sigma: float, q: float, steps: int, delta: float) -> float:
+    if q >= 1.0:
+        curve = gaussian_rdp_curve(sigma, steps)
+    else:
+        curve = subsampled_gaussian_rdp_curve(q, sigma, steps)
+    eps, _ = rdp_curve_to_dp(curve, delta)
+    return eps
+
+
+def calibrate_noise_multiplier(
+    target_epsilon: float,
+    delta: float,
+    steps: int,
+    sample_rate: float = 1.0,
+    sigma_max: float = 1000.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest noise multiplier sigma with eps(sigma) <= target_epsilon.
+
+    Args:
+        target_epsilon: the ULDP budget after ``steps`` rounds.
+        delta: target delta.
+        steps: number of composed rounds (T).
+        sample_rate: user-level sub-sampling rate q (1.0 = no sampling).
+        sigma_max: upper bound for the search.
+        tolerance: relative precision of the returned sigma.
+
+    Raises:
+        ValueError: if even ``sigma_max`` cannot reach the target.
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target epsilon must be positive")
+    if steps < 1:
+        raise ValueError("steps must be at least 1")
+    if not 0 < sample_rate <= 1:
+        raise ValueError("sample rate must lie in (0, 1]")
+    if _epsilon(sigma_max, sample_rate, steps, delta) > target_epsilon:
+        raise ValueError(
+            f"target epsilon {target_epsilon} unreachable even at sigma={sigma_max}"
+        )
+    lo, hi = 1e-2, sigma_max
+    while _epsilon(lo, sample_rate, steps, delta) <= target_epsilon and lo > 1e-6:
+        lo /= 2.0  # ensure lo is infeasible so the invariant below holds
+    # Invariant: eps(lo) > target >= eps(hi).
+    while hi / lo > 1.0 + tolerance:
+        mid = math.sqrt(lo * hi)
+        if _epsilon(mid, sample_rate, steps, delta) <= target_epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def calibrate_sample_rate(
+    target_epsilon: float,
+    delta: float,
+    steps: int,
+    noise_multiplier: float,
+    tolerance: float = 1e-4,
+) -> float:
+    """Largest user sampling rate q with eps(q) <= target_epsilon.
+
+    Returns 1.0 when full participation already meets the budget.
+
+    Raises:
+        ValueError: if the target is unreachable even as q -> 0 (too many
+            steps / too little noise).
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target epsilon must be positive")
+    if noise_multiplier <= 0:
+        raise ValueError("noise multiplier must be positive")
+    if _epsilon(noise_multiplier, 1.0, steps, delta) <= target_epsilon:
+        return 1.0
+    q_min = 1e-6
+    if _epsilon(noise_multiplier, q_min, steps, delta) > target_epsilon:
+        raise ValueError(
+            f"target epsilon {target_epsilon} unreachable even at q={q_min}"
+        )
+    lo, hi = q_min, 1.0  # eps(lo) <= target < eps(hi)
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _epsilon(noise_multiplier, mid, steps, delta) <= target_epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return lo

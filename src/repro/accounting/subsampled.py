@@ -1,0 +1,162 @@
+"""RDP of the Poisson-sub-sampled Gaussian mechanism.
+
+Two bounds are provided:
+
+- :func:`subsampled_gaussian_rdp` -- the numerically tight bound of
+  Mironov, Talwar & Zhang, "Renyi differential privacy of the sampled
+  Gaussian mechanism" (2019), the computation Opacus uses.  For integer
+  orders it evaluates a finite binomial sum; for fractional orders the
+  convergent two-sided series with erfc terms.  All computation happens in
+  log space for stability.
+- :func:`subsampled_rdp_closed_form` -- the closed-form upper bound of
+  Wang, Balle & Kasiviswanathan (2019), quoted as Lemma 4 in the paper.
+  Looser but cheap; used for cross-checking.
+
+Both take the sampling rate q (probability a record/user participates in a
+step) and the noise multiplier sigma.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.accounting.rdp import DEFAULT_ALPHAS, gaussian_rdp
+
+
+def _log_add(log_a: float, log_b: float) -> float:
+    """log(exp(log_a) + exp(log_b)) without overflow."""
+    if log_a == -math.inf:
+        return log_b
+    if log_b == -math.inf:
+        return log_a
+    hi, lo = max(log_a, log_b), min(log_a, log_b)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def _log_sub(log_a: float, log_b: float) -> float:
+    """log(exp(log_a) - exp(log_b)); requires log_a >= log_b."""
+    if log_b == -math.inf:
+        return log_a
+    if log_b > log_a:
+        raise ValueError("log_sub requires log_a >= log_b")
+    if log_a == log_b:
+        return -math.inf
+    return log_a + math.log1p(-math.exp(log_b - log_a))
+
+
+def _log_comb(n: float, k: int) -> float:
+    """log of the binomial coefficient C(n, k) for integer n."""
+    return special.gammaln(n + 1) - special.gammaln(k + 1) - special.gammaln(n - k + 1)
+
+
+def _log_erfc(x: float) -> float:
+    """log(erfc(x)), stable for large positive x."""
+    # erfc(x) = 2 * ndtr(-sqrt(2) x); log_ndtr is stable in both tails.
+    return math.log(2.0) + special.log_ndtr(-x * 2.0**0.5)
+
+
+def _compute_log_a_int(q: float, sigma: float, alpha: int) -> float:
+    """log A(alpha) for integer alpha via the finite binomial sum."""
+    log_a = -math.inf
+    for i in range(alpha + 1):
+        log_coef_i = _log_comb(alpha, i) + i * math.log(q) + (alpha - i) * math.log1p(-q)
+        s = log_coef_i + (i * i - i) / (2.0 * sigma**2)
+        log_a = _log_add(log_a, s)
+    return log_a
+
+
+def _compute_log_a_frac(q: float, sigma: float, alpha: float) -> float:
+    """log A(alpha) for fractional alpha via the two-sided convergent series."""
+    log_a0, log_a1 = -math.inf, -math.inf
+    i = 0
+    z0 = sigma**2 * math.log(1.0 / q - 1.0) + 0.5
+    while True:
+        coef = special.binom(alpha, i)
+        log_coef = math.log(abs(coef)) if coef != 0 else -math.inf
+        j = alpha - i
+
+        log_t0 = log_coef + i * math.log(q) + j * math.log1p(-q)
+        log_t1 = log_coef + j * math.log(q) + i * math.log1p(-q)
+
+        log_e0 = math.log(0.5) + _log_erfc((i - z0) / (math.sqrt(2) * sigma))
+        log_e1 = math.log(0.5) + _log_erfc((z0 - j) / (math.sqrt(2) * sigma))
+
+        log_s0 = log_t0 + (i * i - i) / (2.0 * sigma**2) + log_e0
+        log_s1 = log_t1 + (j * j - j) / (2.0 * sigma**2) + log_e1
+
+        if coef > 0:
+            log_a0 = _log_add(log_a0, log_s0)
+            log_a1 = _log_add(log_a1, log_s1)
+        else:
+            log_a0 = _log_sub(log_a0, log_s0)
+            log_a1 = _log_sub(log_a1, log_s1)
+
+        i += 1
+        if max(log_s0, log_s1) < -30 and i > alpha:
+            break
+
+    return _log_add(log_a0, log_a1)
+
+
+def subsampled_gaussian_rdp(q: float, sigma: float, alpha: float) -> float:
+    """Tight RDP bound of one sub-sampled Gaussian step at a single order.
+
+    Args:
+        q: Poisson sampling rate in [0, 1].
+        sigma: noise multiplier.
+        alpha: Renyi order > 1.
+
+    Returns:
+        rho(alpha) = log(A(alpha)) / (alpha - 1).
+    """
+    if not 0 <= q <= 1:
+        raise ValueError("sampling rate must lie in [0, 1]")
+    if sigma <= 0:
+        raise ValueError("noise multiplier must be positive")
+    if alpha <= 1:
+        raise ValueError("Renyi order must exceed 1")
+    if q == 0:
+        return 0.0
+    if q == 1:
+        return gaussian_rdp(sigma, alpha)
+    if float(alpha).is_integer():
+        log_a = _compute_log_a_int(q, sigma, int(alpha))
+    else:
+        log_a = _compute_log_a_frac(q, sigma, alpha)
+    return log_a / (alpha - 1.0)
+
+
+def subsampled_gaussian_rdp_curve(
+    q: float, sigma: float, steps: int = 1, alphas: np.ndarray | None = None
+) -> np.ndarray:
+    """RDP curve of ``steps`` compositions of the sub-sampled Gaussian."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    alphas = DEFAULT_ALPHAS if alphas is None else np.asarray(alphas, dtype=np.float64)
+    return steps * np.array([subsampled_gaussian_rdp(q, sigma, a) for a in alphas])
+
+
+def subsampled_rdp_closed_form(q: float, sigma: float, alpha: int) -> float:
+    """Closed-form upper bound of Lemma 4 (Wang et al. 2019), integer alpha.
+
+    rho'(alpha) <= 1/(alpha-1) * log(1 + 2 q^2 C(alpha,2)
+        min{2(e^{1/sigma^2} - 1), e^{1/sigma^2}}
+        + sum_{j=3}^alpha 2 q^j C(alpha,j) e^{j(j-1)/(2 sigma^2)})
+    """
+    if not 0 <= q < 1:
+        raise ValueError("sampling rate must lie in [0, 1)")
+    if sigma <= 0:
+        raise ValueError("noise multiplier must be positive")
+    if not float(alpha).is_integer() or alpha < 2:
+        raise ValueError("closed form requires integer alpha >= 2")
+    alpha = int(alpha)
+    if q == 0:
+        return 0.0
+    e_term = math.exp(1.0 / sigma**2)
+    total = 1.0 + 2.0 * q**2 * special.binom(alpha, 2) * min(2.0 * (e_term - 1.0), e_term)
+    for j in range(3, alpha + 1):
+        total += 2.0 * q**j * special.binom(alpha, j) * math.exp(j * (j - 1) / (2.0 * sigma**2))
+    return math.log(total) / (alpha - 1.0)

@@ -1,0 +1,25 @@
+"""Empirical privacy attacks (the paper's future-work direction).
+
+The paper's conclusion proposes "empirically compar[ing] the privacy
+protection of user/record-level DP in FL in terms of particular attack
+aspects such as user/record-level membership inference".  This package
+implements that comparison: loss-threshold membership inference at both
+granularities (Yeom et al. 2018 style), evaluated on models trained by any
+method in :mod:`repro.core`.
+"""
+
+from repro.attacks.membership import (
+    attack_auc,
+    membership_advantage,
+    record_membership_scores,
+    run_membership_experiment,
+    user_membership_scores,
+)
+
+__all__ = [
+    "attack_auc",
+    "membership_advantage",
+    "record_membership_scores",
+    "run_membership_experiment",
+    "user_membership_scores",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``train``     -- run one method on one benchmark and print the history
+                   (optionally save it as JSON).
+- ``epsilon``   -- query the accountant: eps for (sigma, steps, q, delta),
+                   optionally through a group-privacy conversion.
+- ``calibrate`` -- invert the accountant: the sigma (or q) achieving a
+                   target epsilon.
+- ``datasets``  -- list the available benchmark federations.
+
+Examples::
+
+    python -m repro train --dataset creditcard --method uldp-avg-w \\
+        --rounds 10 --users 100 --distribution zipf
+    python -m repro epsilon --sigma 5.0 --steps 100000 --sample-rate 0.01 \\
+        --group-size 8
+    python -m repro calibrate --target-epsilon 2.0 --steps 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accounting import (
+    PrivacyAccountant,
+    calibrate_noise_multiplier,
+    calibrate_sample_rate,
+)
+from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
+from repro.data import (
+    build_creditcard_benchmark,
+    build_heartdisease_benchmark,
+    build_mnist_benchmark,
+    build_tcgabrca_benchmark,
+)
+from repro.report import comparison_table, save_histories
+
+DATASETS = {
+    "creditcard": "tabular fraud detection, 5 silos, MLP (~4K params)",
+    "mnist": "10-class images, 5 silos, CNN (~20K params)",
+    "heartdisease": "4 fixed hospital silos, logistic model",
+    "tcgabrca": "6 fixed silos, survival data, Cox model / C-index",
+}
+
+METHODS = ["default", "uldp-naive", "uldp-group", "uldp-sgd", "uldp-avg", "uldp-avg-w"]
+
+
+def _build_dataset(args) -> object:
+    if args.dataset == "creditcard":
+        return build_creditcard_benchmark(
+            n_users=args.users, n_silos=args.silos, distribution=args.distribution,
+            n_records=args.records, seed=args.seed,
+        )
+    if args.dataset == "mnist":
+        return build_mnist_benchmark(
+            n_users=args.users, n_silos=args.silos, distribution=args.distribution,
+            non_iid=args.non_iid, n_records=args.records, seed=args.seed,
+        )
+    if args.dataset == "heartdisease":
+        return build_heartdisease_benchmark(
+            n_users=args.users, distribution=args.distribution, seed=args.seed,
+        )
+    if args.dataset == "tcgabrca":
+        return build_tcgabrca_benchmark(
+            n_users=args.users, distribution=args.distribution, seed=args.seed,
+        )
+    raise ValueError(f"unknown dataset {args.dataset!r}")
+
+
+def _build_method(args):
+    sigma = args.sigma
+    if args.method == "default":
+        return Default(local_epochs=args.local_epochs)
+    if args.method == "uldp-naive":
+        return UldpNaive(noise_multiplier=sigma, local_epochs=args.local_epochs)
+    if args.method == "uldp-group":
+        return UldpGroup(
+            group_size=args.group_size, noise_multiplier=sigma,
+            local_steps=args.local_epochs, expected_batch_size=args.batch_size or 256,
+        )
+    if args.method == "uldp-sgd":
+        return UldpSgd(noise_multiplier=sigma, user_sample_rate=args.sample_rate)
+    if args.method == "uldp-avg":
+        return UldpAvg(
+            noise_multiplier=sigma, local_epochs=args.local_epochs,
+            user_sample_rate=args.sample_rate,
+        )
+    if args.method == "uldp-avg-w":
+        return UldpAvg(
+            noise_multiplier=sigma, local_epochs=args.local_epochs,
+            weighting="proportional", user_sample_rate=args.sample_rate,
+        )
+    raise ValueError(f"unknown method {args.method!r}")
+
+
+def cmd_train(args) -> int:
+    fed = _build_dataset(args)
+    method = _build_method(args)
+    print(fed.summary())
+    trainer = Trainer(fed, method, rounds=args.rounds, delta=args.delta, seed=args.seed)
+    history = trainer.run()
+    print()
+    print(comparison_table([history]))
+    if args.output:
+        save_histories([history], args.output)
+        print(f"\nhistory saved to {args.output}")
+    return 0
+
+
+def cmd_epsilon(args) -> int:
+    acct = PrivacyAccountant()
+    acct.step(args.sigma, sample_rate=args.sample_rate, steps=args.steps)
+    eps, alpha = acct.get_epsilon_and_alpha(args.delta)
+    print(
+        f"(sigma={args.sigma}, q={args.sample_rate}, steps={args.steps}) => "
+        f"eps={eps:.4f} at delta={args.delta} (optimal alpha={alpha:g})"
+    )
+    if args.group_size > 1:
+        g_eps = acct.get_group_epsilon(args.delta, args.group_size, route=args.route)
+        print(
+            f"group-privacy conversion (k={args.group_size}, {args.route} route) => "
+            f"eps={g_eps:.4f}"
+        )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    if args.solve_for == "sigma":
+        sigma = calibrate_noise_multiplier(
+            args.target_epsilon, args.delta, args.steps, sample_rate=args.sample_rate
+        )
+        print(
+            f"target eps={args.target_epsilon} at delta={args.delta}, "
+            f"steps={args.steps}, q={args.sample_rate} => sigma={sigma:.4f}"
+        )
+    else:
+        q = calibrate_sample_rate(
+            args.target_epsilon, args.delta, args.steps, noise_multiplier=args.sigma
+        )
+        print(
+            f"target eps={args.target_epsilon} at delta={args.delta}, "
+            f"steps={args.steps}, sigma={args.sigma} => q={q:.4f}"
+        )
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    for name, description in DATASETS.items():
+        print(f"{name:<14s} {description}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import (
+        available_experiments,
+        describe_experiment,
+        run_experiment,
+    )
+
+    if args.list:
+        for name in available_experiments():
+            print(f"{name:<8s} {describe_experiment(name)}")
+        return 0
+    if not args.name:
+        print("specify an experiment name or --list", file=sys.stderr)
+        return 2
+    result = run_experiment(args.name, scale=args.scale, seed=args.seed)
+    print(f"{result.name}: {result.description}\n")
+    print(result.table())
+    if args.output and result.histories:
+        save_histories(result.histories, args.output)
+        print(f"\nhistories saved to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Uldp-FL reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="run one method on one benchmark")
+    train.add_argument("--dataset", choices=sorted(DATASETS), default="creditcard")
+    train.add_argument("--method", choices=METHODS, default="uldp-avg-w")
+    train.add_argument("--rounds", type=int, default=5)
+    train.add_argument("--users", type=int, default=100)
+    train.add_argument("--silos", type=int, default=5)
+    train.add_argument("--records", type=int, default=4000)
+    train.add_argument("--distribution", choices=["uniform", "zipf"], default="zipf")
+    train.add_argument("--non-iid", action="store_true")
+    train.add_argument("--sigma", type=float, default=5.0)
+    train.add_argument("--delta", type=float, default=1e-5)
+    train.add_argument("--local-epochs", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=None)
+    train.add_argument("--group-size", type=int, default=8)
+    train.add_argument("--sample-rate", type=float, default=None,
+                       help="user-level sub-sampling rate q (Algorithm 4)")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", type=str, default=None,
+                       help="write the history JSON here")
+    train.set_defaults(func=cmd_train)
+
+    eps = sub.add_parser("epsilon", help="accountant query")
+    eps.add_argument("--sigma", type=float, required=True)
+    eps.add_argument("--steps", type=int, required=True)
+    eps.add_argument("--sample-rate", type=float, default=1.0)
+    eps.add_argument("--delta", type=float, default=1e-5)
+    eps.add_argument("--group-size", type=int, default=1)
+    eps.add_argument("--route", choices=["rdp", "dp"], default="rdp")
+    eps.set_defaults(func=cmd_epsilon)
+
+    cal = sub.add_parser("calibrate", help="solve for sigma or q")
+    cal.add_argument("--target-epsilon", type=float, required=True)
+    cal.add_argument("--delta", type=float, default=1e-5)
+    cal.add_argument("--steps", type=int, required=True)
+    cal.add_argument("--solve-for", choices=["sigma", "q"], default="sigma")
+    cal.add_argument("--sigma", type=float, default=5.0,
+                     help="fixed sigma when solving for q")
+    cal.add_argument("--sample-rate", type=float, default=1.0,
+                     help="fixed q when solving for sigma")
+    cal.set_defaults(func=cmd_calibrate)
+
+    ds = sub.add_parser("datasets", help="list benchmark federations")
+    ds.set_defaults(func=cmd_datasets)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("name", nargs="?", default=None,
+                     help="experiment name (see --list)")
+    fig.add_argument("--list", action="store_true", help="list experiments")
+    fig.add_argument("--scale", choices=["smoke", "small", "paper"],
+                     default="small")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--output", type=str, default=None,
+                     help="write history JSON here (utility figures)")
+    fig.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The Uldp-FL core: federated methods, weighting, metrics, and the trainer.
+
+This package implements the paper's Algorithms 1-4 plus the non-private
+FedAVG baseline, the clipping-weight strategies of Section 4.1, and the
+training loop that produces the privacy/utility series of the evaluation.
+"""
+
+from repro.core.clipping import clip_factor, l2_clip
+from repro.core.methods import (
+    Default,
+    FLMethod,
+    UldpAvg,
+    UldpGroup,
+    UldpNaive,
+    UldpSgd,
+    build_group_flags,
+    resolve_group_size,
+)
+from repro.core.metrics import evaluate_model, make_loss, metric_name
+from repro.core.trainer import RoundRecord, Trainer, TrainingHistory, default_model_for
+from repro.core.weighting import (
+    proportional_weights,
+    subsample_weights,
+    uniform_weights,
+    validate_weights,
+)
+
+__all__ = [
+    "clip_factor",
+    "l2_clip",
+    "FLMethod",
+    "Default",
+    "UldpAvg",
+    "UldpGroup",
+    "UldpNaive",
+    "UldpSgd",
+    "build_group_flags",
+    "resolve_group_size",
+    "evaluate_model",
+    "make_loss",
+    "metric_name",
+    "RoundRecord",
+    "Trainer",
+    "TrainingHistory",
+    "default_model_for",
+    "proportional_weights",
+    "subsample_weights",
+    "uniform_weights",
+    "validate_weights",
+]

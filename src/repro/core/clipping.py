@@ -1,0 +1,11 @@
+"""L2 clipping utilities (re-exported from :mod:`repro.nn.clip`).
+
+The implementation lives in the :mod:`repro.nn` layer so that DP-SGD can
+use it without importing the full :mod:`repro.core` package (which imports
+the methods, which import DP-SGD -- a cycle otherwise).  Import from here
+in application code; the canonical definition is shared.
+"""
+
+from repro.nn.clip import clip_factor, l2_clip
+
+__all__ = ["clip_factor", "l2_clip"]

@@ -1,0 +1,19 @@
+"""The five federated optimisation methods evaluated in the paper."""
+
+from repro.core.methods.base import FLMethod
+from repro.core.methods.fedavg import Default
+from repro.core.methods.uldp_avg import UldpAvg
+from repro.core.methods.uldp_group import UldpGroup, build_group_flags, resolve_group_size
+from repro.core.methods.uldp_naive import UldpNaive
+from repro.core.methods.uldp_sgd import UldpSgd
+
+__all__ = [
+    "FLMethod",
+    "Default",
+    "UldpAvg",
+    "UldpGroup",
+    "UldpNaive",
+    "UldpSgd",
+    "build_group_flags",
+    "resolve_group_size",
+]

@@ -1,0 +1,108 @@
+"""Common infrastructure for the FL methods.
+
+Every method is a stateful object configured at construction and bound to a
+dataset/model by :meth:`FLMethod.prepare` (called once by the trainer).
+Each round the trainer calls :meth:`FLMethod.round` with the current flat
+global parameter vector and receives the next one.  Privacy-consuming
+methods maintain a :class:`repro.accounting.PrivacyAccountant` and report
+their cumulative user-level epsilon through :meth:`FLMethod.epsilon`.
+
+The secure-aggregation step of the paper (server only sees the summed
+deltas) is simulated by summing plaintext deltas here; the cryptographic
+realisation lives in :mod:`repro.protocol` and is verified to produce the
+same sums (Theorem 4 tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.metrics import make_loss
+from repro.data.federated import FederatedDataset
+from repro.nn.model import Sequential
+from repro.nn.train import train_epochs
+
+
+class FLMethod(ABC):
+    """Base class for federated optimisation methods."""
+
+    name: str = "base"
+    #: Whether the method consumes privacy budget (False only for DEFAULT).
+    is_private: bool = True
+
+    def __init__(self):
+        self.fed: FederatedDataset | None = None
+        self.model: Sequential | None = None
+        self.rng: np.random.Generator | None = None
+
+    def prepare(
+        self, fed: FederatedDataset, model: Sequential, rng: np.random.Generator
+    ) -> None:
+        """Bind the method to a dataset and a model template."""
+        self.fed = fed
+        self.model = model
+        self.rng = rng
+
+    @abstractmethod
+    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+        """Run round ``t`` from flat params; returns the next flat params."""
+
+    def epsilon(self, delta: float) -> float | None:
+        """Cumulative user-level (eps, delta)-ULDP; None if non-private."""
+        return None
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _require_prepared(self) -> tuple[FederatedDataset, Sequential, np.random.Generator]:
+        if self.fed is None or self.model is None or self.rng is None:
+            raise RuntimeError("method not prepared; call prepare() first")
+        return self.fed, self.model, self.rng
+
+    def _local_delta(
+        self,
+        params: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        local_lr: float,
+        local_epochs: int,
+        batch_size: int | None,
+    ) -> np.ndarray:
+        """Model delta (local - global) after local SGD from ``params``."""
+        fed, model, rng = self._require_prepared()
+        local = model.clone()
+        local.set_flat_params(params)
+        loss = make_loss(fed.task, local)
+        train_epochs(
+            local, loss, x, y, lr=local_lr, epochs=local_epochs,
+            rng=rng, batch_size=batch_size,
+        )
+        return local.get_flat_params() - params
+
+    def _gradient(self, params: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Full-batch mean gradient at ``params`` (for the SGD variants).
+
+        Returns a zero gradient when the loss is undefined on this data
+        (e.g. the Cox likelihood for a user with no observed events) -- the
+        user simply contributes nothing this round.
+        """
+        from repro.nn.losses import DegenerateBatchError
+
+        fed, model, rng = self._require_prepared()
+        local = model.clone()
+        local.set_flat_params(params)
+        loss = make_loss(fed.task, local)
+        local.zero_grad()
+        try:
+            loss.forward(local.forward(x), y)
+        except DegenerateBatchError:
+            return np.zeros(local.num_params)
+        local.backward(loss.backward())
+        return local.get_flat_grads()
+
+    def _gaussian_noise(self, std: float, size: int) -> np.ndarray:
+        _, _, rng = self._require_prepared()
+        if std == 0.0:
+            return np.zeros(size)
+        return rng.normal(0.0, std, size=size)

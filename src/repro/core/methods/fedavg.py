@@ -1,0 +1,52 @@
+"""DEFAULT: non-private FedAVG with two-sided learning rates.
+
+The paper's non-private baseline (Yang, Fang & Liu 2021): each silo runs Q
+local epochs from the global model, the server averages the silo deltas and
+applies a separate global learning rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods.base import FLMethod
+
+
+class Default(FLMethod):
+    """Non-private FedAVG baseline ("DEFAULT" in the paper's figures)."""
+
+    name = "DEFAULT"
+    is_private = False
+
+    def __init__(
+        self,
+        global_lr: float = 1.0,
+        local_lr: float = 0.05,
+        local_epochs: int = 2,
+        batch_size: int | None = 64,
+    ):
+        super().__init__()
+        if global_lr <= 0 or local_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if local_epochs < 1:
+            raise ValueError("need at least one local epoch")
+        self.global_lr = global_lr
+        self.local_lr = local_lr
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+
+    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+        fed, _, _ = self._require_prepared()
+        deltas = []
+        for silo in fed.silos:
+            if silo.n_records == 0:
+                deltas.append(np.zeros_like(params))
+                continue
+            deltas.append(
+                self._local_delta(
+                    params, silo.x, silo.y, self.local_lr, self.local_epochs,
+                    self.batch_size,
+                )
+            )
+        aggregate = np.mean(deltas, axis=0)
+        return params + self.global_lr * aggregate

@@ -1,0 +1,182 @@
+"""ULDP-AVG (Algorithm 3) with optional user-level sub-sampling (Algorithm 4).
+
+The paper's main contribution: each silo trains a *per-user* model delta
+(Q local epochs on only that user's records), clips it to C, scales it by
+the weight w[s, u], sums over users, and adds Gaussian noise with variance
+sigma^2 C^2 / |S|.  Since the weights satisfy sum_s w[s, u] <= 1, any single
+user moves the cross-silo aggregate by at most C in l2 -- user-level
+sensitivity C -- and the summed noise across silos has std sigma * C, so the
+aggregate satisfies the Gaussian-mechanism RDP with noise multiplier sigma
+(Theorem 3).
+
+Weighting strategies (Section 4.1):
+
+- ``"uniform"``: w = 1/|S| (no data knowledge needed).
+- ``"proportional"``: Eq. (3), w[s, u] = n[s, u] / N_u -- the ULDP-AVG-w
+  variant.  In deployment the weights are computed by Protocol 1 without
+  revealing histograms; the trainer uses them directly (the protocol is
+  verified separately to produce identical aggregates).
+
+User-level sub-sampling (``user_sample_rate`` = q): the server Poisson-
+samples users each round and zeroes the weights of non-sampled users; the
+aggregate is rescaled by 1/q and the accountant applies sub-sampled RDP
+amplification (Remark 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accounting import PrivacyAccountant
+from repro.core.clipping import clip_factor, l2_clip
+from repro.core.methods.base import FLMethod
+from repro.core.weighting import (
+    proportional_weights,
+    subsample_weights,
+    uniform_weights,
+    validate_weights,
+)
+
+
+class UldpAvg(FLMethod):
+    """The paper's primary method (Algorithm 3, AVG variant)."""
+
+    name = "ULDP-AVG"
+
+    def __init__(
+        self,
+        clip: float = 1.0,
+        noise_multiplier: float = 5.0,
+        global_lr: float | None = None,
+        local_lr: float = 0.05,
+        local_epochs: int = 2,
+        weighting: str = "uniform",
+        user_sample_rate: float | None = None,
+        batch_size: int | None = None,
+        record_clip_stats: bool = False,
+    ):
+        super().__init__()
+        if clip <= 0:
+            raise ValueError("clip bound must be positive")
+        if noise_multiplier < 0:
+            raise ValueError("noise multiplier must be non-negative")
+        if local_epochs < 1:
+            raise ValueError("need at least one local epoch")
+        if weighting not in ("uniform", "proportional"):
+            raise ValueError("weighting must be 'uniform' or 'proportional'")
+        if user_sample_rate is not None and not 0 < user_sample_rate <= 1:
+            raise ValueError("user sample rate must lie in (0, 1]")
+        self.clip = clip
+        self.noise_multiplier = noise_multiplier
+        self.global_lr = global_lr
+        self.local_lr = local_lr
+        self.local_epochs = local_epochs
+        self.weighting = weighting
+        self.user_sample_rate = user_sample_rate
+        self.batch_size = batch_size
+        self.record_clip_stats = record_clip_stats
+        self.weights: np.ndarray | None = None
+        self.accountant = PrivacyAccountant()
+        #: Per-round clipping factors (the alpha of Remark 4), populated
+        #: only when record_clip_stats is set; used by the ablation bench.
+        self.clip_factor_history: list[np.ndarray] = []
+
+    @property
+    def display_name(self) -> str:
+        return "ULDP-AVG-w" if self.weighting == "proportional" else "ULDP-AVG"
+
+    def prepare(self, fed, model, rng) -> None:
+        super().prepare(fed, model, rng)
+        if self.weighting == "uniform":
+            self.weights = uniform_weights(fed.n_silos, fed.n_users)
+        else:
+            self.weights = proportional_weights(fed.histogram())
+        validate_weights(self.weights)
+        if self.global_lr is None:
+            # Remark 3: eta_g = |S| * sqrt(|U| * Q) recovers the DP-FedAVG
+            # noise scaling after the server's 1/(|U||S|) averaging.
+            self.global_lr = float(
+                fed.n_silos * np.sqrt(fed.n_users * self.local_epochs)
+            )
+
+    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+        fed, _, rng = self._require_prepared()
+        assert self.weights is not None
+        q = self.user_sample_rate
+
+        if q is not None:
+            sampled = np.where(rng.random(fed.n_users) < q)[0]
+            round_weights = subsample_weights(self.weights, sampled)
+        else:
+            round_weights = self.weights
+
+        contributions, noises = self._compute_contributions(params, round_weights)
+        aggregate = self._aggregate(t, contributions, noises, round_weights)
+
+        self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
+        scale = fed.n_users * fed.n_silos * (q if q is not None else 1.0)
+        assert self.global_lr is not None
+        return params + self.global_lr * aggregate / scale
+
+    def _compute_contributions(
+        self, params: np.ndarray, round_weights: np.ndarray
+    ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
+        """Per-silo clipped per-user deltas and per-silo Gaussian noise.
+
+        Returns ``(contributions, noises)`` where ``contributions[s]`` maps
+        user id -> *unweighted* clipped delta (Algorithm 3 line 16 before
+        the w multiplication) and ``noises[s]`` is silo s's noise vector.
+        Users with zero round weight are skipped (they cannot contribute).
+        """
+        fed, _, _ = self._require_prepared()
+        # Per-silo noise std sqrt(sigma^2 C^2 / |S|): summing |S| silo
+        # contributions yields aggregate noise std sigma * C, matching the
+        # user-level sensitivity C at noise multiplier sigma.
+        noise_std = self.noise_multiplier * self.clip / np.sqrt(fed.n_silos)
+        factors = np.full((fed.n_silos, fed.n_users), np.nan)
+
+        contributions: list[dict[int, np.ndarray]] = []
+        noises: list[np.ndarray] = []
+        for s, silo in enumerate(fed.silos):
+            per_user: dict[int, np.ndarray] = {}
+            for user in silo.users_present():
+                if round_weights[s, user] == 0.0:
+                    continue
+                x, y = silo.records_of_user(int(user))
+                delta = self._local_delta(
+                    params, x, y, self.local_lr, self.local_epochs, self.batch_size
+                )
+                if self.record_clip_stats:
+                    factors[s, user] = clip_factor(delta, self.clip)
+                per_user[int(user)] = l2_clip(delta, self.clip)
+            contributions.append(per_user)
+            noises.append(self._gaussian_noise(noise_std, params.size))
+
+        if self.record_clip_stats:
+            self.clip_factor_history.append(factors)
+        return contributions, noises
+
+    def _aggregate(
+        self,
+        t: int,
+        contributions: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+        round_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Plaintext aggregation: sum_s (sum_u w[s,u] * delta_su + z_s).
+
+        This simulates secure aggregation (the server only ever consumes the
+        final sum).  :class:`repro.protocol.SecureUldpAvg` overrides this
+        with the real cryptographic Protocol 1 and is tested to produce the
+        same result within fixed-point precision (Theorem 4).
+        """
+        size = noises[0].size
+        aggregate = np.zeros(size)
+        for s, per_user in enumerate(contributions):
+            for user, clipped in per_user.items():
+                aggregate += round_weights[s, user] * clipped
+            aggregate += noises[s]
+        return aggregate
+
+    def epsilon(self, delta: float) -> float:
+        return self.accountant.get_epsilon(delta)

@@ -1,0 +1,73 @@
+"""Per-user per-silo clipping weights W (Algorithm 3 and Eq. 3).
+
+The weight matrix W has shape (|S|, |U|); ULDP-AVG multiplies user u's
+clipped model delta in silo s by ``W[s, u]``.  User-level sensitivity of the
+cross-silo aggregate equals ``C * max_u sum_s W[s, u]``, so any W with
+column sums at most one yields ULDP with sensitivity C (Theorem 3).
+
+Two strategies from the paper:
+
+- :func:`uniform_weights` -- ``w = 1/|S|`` everywhere; requires no knowledge
+  of the data distribution (privacy-free).
+- :func:`proportional_weights` -- Eq. (3): ``w[s, u] = n[s, u] / N_u``,
+  favouring the silos where the user has more records (smaller clipping
+  bias, see Remark 4).  Computing it privately is the job of Protocol 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_weights(n_silos: int, n_users: int) -> np.ndarray:
+    """W[s, u] = 1/|S| for all s, u (the default ULDP-AVG weighting)."""
+    if n_silos < 1 or n_users < 1:
+        raise ValueError("need at least one silo and one user")
+    return np.full((n_silos, n_users), 1.0 / n_silos)
+
+
+def proportional_weights(histogram: np.ndarray) -> np.ndarray:
+    """Eq. (3): W[s, u] = n[s, u] / N_u (0 where the user has no records).
+
+    Args:
+        histogram: integer matrix n[s, u] of per-silo per-user record counts.
+    """
+    hist = np.asarray(histogram, dtype=np.float64)
+    if hist.ndim != 2:
+        raise ValueError("histogram must be a (|S|, |U|) matrix")
+    if np.any(hist < 0):
+        raise ValueError("record counts must be non-negative")
+    totals = hist.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        weights = np.where(totals > 0, hist / np.where(totals > 0, totals, 1.0), 0.0)
+    return weights
+
+
+def validate_weights(weights: np.ndarray, atol: float = 1e-9) -> None:
+    """Check the Theorem 3 constraints: W >= 0 and column sums <= 1.
+
+    Column sums strictly below one are allowed (users absent from all silos,
+    or sub-sampled users with zeroed weights) -- they only lower sensitivity.
+
+    Raises:
+        ValueError: when a constraint is violated.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("weights must be a (|S|, |U|) matrix")
+    if np.any(w < -atol):
+        raise ValueError("weights must be non-negative")
+    col_sums = w.sum(axis=0)
+    if np.any(col_sums > 1.0 + atol):
+        raise ValueError("per-user weight sums must not exceed 1")
+
+
+def subsample_weights(
+    weights: np.ndarray, sampled_users: np.ndarray
+) -> np.ndarray:
+    """Zero the columns of non-sampled users (Algorithm 4, lines 4-7)."""
+    w = np.array(weights, dtype=np.float64, copy=True)
+    mask = np.zeros(w.shape[1], dtype=bool)
+    mask[np.asarray(sampled_users, dtype=np.int64)] = True
+    w[:, ~mask] = 0.0
+    return w

@@ -1,0 +1,57 @@
+"""Cryptographic substrate for the Uldp-FL private weighting protocol.
+
+Everything here is implemented from scratch on top of the Python standard
+library (``secrets``, ``hashlib``, ``math``):
+
+- :mod:`repro.crypto.primes` -- Miller-Rabin probabilistic primality testing
+  and random prime generation.
+- :mod:`repro.crypto.paillier` -- the Paillier additively homomorphic
+  cryptosystem (keygen / encrypt / decrypt / ciphertext arithmetic).
+- :mod:`repro.crypto.dh` -- finite-field Diffie-Hellman key agreement with a
+  SHA-256 key-derivation function.
+- :mod:`repro.crypto.masking` -- PRG-expanded pairwise additive masks over a
+  finite field, the core of secure aggregation (Bonawitz et al.).
+- :mod:`repro.crypto.blinding` -- multiplicative blinding over F_n
+  (Damgard et al.) used to hide user histograms from the server.
+- :mod:`repro.crypto.encoding` -- fixed-point encoding of real vectors into
+  F_n (Algorithm 5 of the paper).
+
+The default key sizes used in tests and benchmarks are intentionally small
+(512-bit Paillier modulus, 512-bit DH group) so the full protocol runs in
+seconds; all sizes are parameters and the paper's 3072-bit setting is
+supported.
+"""
+
+from repro.crypto.primes import is_probable_prime, random_prime
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeypair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.crypto.dh import DHGroup, DHKeypair, derive_shared_key
+from repro.crypto.masking import PairwiseMasker, prg_field_elements
+from repro.crypto.blinding import BlindingFactory
+from repro.crypto.encoding import decode_scalar, decode_vector, encode_scalar, encode_vector
+
+__all__ = [
+    "is_probable_prime",
+    "random_prime",
+    "PaillierCiphertext",
+    "PaillierKeypair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_paillier_keypair",
+    "DHGroup",
+    "DHKeypair",
+    "derive_shared_key",
+    "PairwiseMasker",
+    "prg_field_elements",
+    "BlindingFactory",
+    "BlindingFactory",
+    "encode_scalar",
+    "encode_vector",
+    "decode_scalar",
+    "decode_vector",
+]

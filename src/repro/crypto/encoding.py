@@ -1,0 +1,100 @@
+"""Fixed-point encoding between real vectors and the finite field F_n.
+
+Implements Algorithm 5 of the paper.  Real numbers (model deltas, Gaussian
+noise) are divided by a precision parameter P (e.g. 1e-10), rounded to
+integers, and mapped into F_n; signed values use the upper half of the field
+for negatives.  Decoding undoes the mapping and also removes the C_LCM
+factor that Protocol 1 multiplies into every term so that the per-user
+division by N_u stays exact on integers.
+
+Correctness requires the accumulated integer magnitudes to stay below n/2
+(Theorem 4, condition (2)); :func:`check_magnitude_budget` validates the
+bound for given protocol parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Paper's example precision parameter.
+DEFAULT_PRECISION = 1e-10
+
+
+def encode_scalar(x: float, precision: float, modulus: int) -> int:
+    """Encode one real number into F_n (Algorithm 5, Encode).
+
+    ``x`` is scaled to fixed point by ``1/precision``, rounded, and reduced
+    mod n; negative values wrap to the upper half of the field.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    scaled = int(round(x / precision))
+    return scaled % modulus
+
+
+def decode_scalar(x: int, precision: float, c_lcm: int, modulus: int) -> float:
+    """Decode one field element back to a real number (Algorithm 5, Decode).
+
+    Maps the field element to a signed integer (values above n//2 are
+    negative), removes the C_LCM factor, and rescales by ``precision``.
+    """
+    if x > modulus // 2:
+        x = x - modulus
+    return (x / c_lcm) * precision
+
+
+def encode_vector(values: Sequence[float] | np.ndarray, precision: float, modulus: int) -> list[int]:
+    """Encode a real vector element-wise into F_n.
+
+    Uses Python integers throughout: the field elements routinely exceed
+    64-bit range, so numpy integer dtypes are not an option.
+    """
+    return [encode_scalar(float(v), precision, modulus) for v in np.asarray(values).ravel()]
+
+
+def decode_vector(
+    values: Sequence[int], precision: float, c_lcm: int, modulus: int
+) -> np.ndarray:
+    """Decode a vector of field elements back to float64."""
+    return np.array(
+        [decode_scalar(int(v), precision, c_lcm, modulus) for v in values], dtype=np.float64
+    )
+
+
+def lcm_up_to(n_max: int) -> int:
+    """C_LCM: least common multiple of 1..n_max (Protocol 1, setup (a)).
+
+    Grows like e^n_max, so realistic deployments restrict the admissible
+    per-user record counts (paper suggests e.g. {10, 100, 1000, 10000}).
+    """
+    if n_max < 1:
+        raise ValueError("n_max must be at least 1")
+    return math.lcm(*range(1, n_max + 1))
+
+
+def lcm_of_counts(counts: Sequence[int]) -> int:
+    """C_LCM restricted to an explicit set of admissible record counts."""
+    counts = [c for c in counts if c >= 1]
+    if not counts:
+        raise ValueError("need at least one positive count")
+    return math.lcm(*counts)
+
+
+def check_magnitude_budget(
+    modulus: int,
+    c_lcm: int,
+    precision: float,
+    max_abs_value: float,
+    num_terms: int,
+) -> bool:
+    """Check Theorem 4's overflow condition (2).
+
+    The field sum accumulated by the server is bounded by
+    ``num_terms * Encode(max_abs_value) * c_lcm``; correctness requires this
+    to be below n/2 (signed decoding).  Returns True when the budget holds.
+    """
+    max_encoded = int(math.ceil(max_abs_value / precision)) + 1
+    return num_terms * max_encoded * c_lcm < modulus // 2

@@ -1,0 +1,102 @@
+"""Probabilistic primality testing and prime generation.
+
+The Paillier and Diffie-Hellman implementations need random primes of a few
+hundred to a few thousand bits.  We implement the standard Miller-Rabin test
+with a deterministic small-prime pre-filter.  ``secrets`` provides the
+cryptographically secure randomness; an optional ``random.Random`` can be
+injected for reproducible tests.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+# Small primes used to cheaply reject candidates before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+# Deterministic Miller-Rabin witness sets: testing against these bases is
+# *provably* correct for all n below the stated bounds (Sinclair / Jaeschke).
+_DETERMINISTIC_BASES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+_DETERMINISTIC_BOUND = 3317044064679887385961981  # correct below this bound
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; returns True if ``n`` passes for base ``a``."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    For ``n`` below ~3.3e24 the test is deterministic (fixed witness set);
+    above that it is probabilistic with error probability at most
+    ``4**-rounds``.
+
+    Args:
+        n: candidate integer.
+        rounds: number of random rounds for large ``n``.
+        rng: optional PRNG for reproducible witness choice in tests.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    if n < _DETERMINISTIC_BOUND:
+        bases = [a for a in _DETERMINISTIC_BASES if a < n - 1]
+    elif rng is not None:
+        bases = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    else:
+        bases = [secrets.randbelow(n - 3) + 2 for _ in range(rounds)]
+
+    return all(_miller_rabin_round(n, a, d, r) for a in bases)
+
+
+def random_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    The top two bits are forced to one so that the product of two ``bits``-bit
+    primes has exactly ``2 * bits`` bits (required by Paillier key sizing),
+    and the low bit is forced to one so candidates are odd.
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        if rng is not None:
+            candidate = rng.getrandbits(bits)
+        else:
+            candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_distinct_primes(bits: int, rng: random.Random | None = None) -> tuple[int, int]:
+    """Generate two distinct random primes of ``bits`` bits each."""
+    p = random_prime(bits, rng=rng)
+    while True:
+        q = random_prime(bits, rng=rng)
+        if q != p:
+            return p, q

@@ -1,0 +1,199 @@
+"""Datasets and federated record allocation.
+
+Public entry points are the ``build_*_benchmark`` functions, which combine a
+synthetic dataset generator (:mod:`repro.data.synthetic`) with a record
+allocation scheme (:mod:`repro.data.allocation`) into a
+:class:`repro.data.federated.FederatedDataset` matching one of the paper's
+evaluation settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.allocation import (
+    allocate_noniid_by_label,
+    allocate_presiloed_uniform,
+    allocate_presiloed_zipf,
+    allocate_uniform,
+    allocate_zipf,
+    enforce_min_records_per_pair,
+    zipf_weights,
+)
+from repro.data.federated import FederatedDataset, SiloData
+from repro.data.synthetic import (
+    HEARTDISEASE_SILO_SIZES,
+    TCGABRCA_SILO_SIZES,
+    RawDataset,
+    synthetic_creditcard,
+    synthetic_heartdisease,
+    synthetic_mnist,
+    synthetic_tcgabrca,
+)
+
+__all__ = [
+    "FederatedDataset",
+    "SiloData",
+    "RawDataset",
+    "allocate_uniform",
+    "allocate_zipf",
+    "allocate_presiloed_uniform",
+    "allocate_presiloed_zipf",
+    "allocate_noniid_by_label",
+    "enforce_min_records_per_pair",
+    "zipf_weights",
+    "synthetic_creditcard",
+    "synthetic_heartdisease",
+    "synthetic_mnist",
+    "synthetic_tcgabrca",
+    "HEARTDISEASE_SILO_SIZES",
+    "TCGABRCA_SILO_SIZES",
+    "build_creditcard_benchmark",
+    "build_mnist_benchmark",
+    "build_heartdisease_benchmark",
+    "build_tcgabrca_benchmark",
+    "federate_free",
+    "federate_presiloed",
+]
+
+
+def federate_free(
+    raw: RawDataset,
+    n_users: int,
+    n_silos: int,
+    distribution: str,
+    seed: int,
+    noniid_labels_per_user: int | None = None,
+) -> FederatedDataset:
+    """Allocate a free (not pre-siloed) dataset to users and silos.
+
+    Args:
+        raw: centralised dataset.
+        distribution: ``"uniform"`` or ``"zipf"`` (Section 5.1).
+        noniid_labels_per_user: if set, use the user-level non-iid label
+            allocation (each user holds at most this many labels).
+    """
+    rng = np.random.default_rng(seed)
+    n = len(raw.x)
+    if noniid_labels_per_user is not None:
+        users, silos = allocate_noniid_by_label(
+            raw.y, n_users, n_silos, rng,
+            labels_per_user=noniid_labels_per_user,
+            silo_distribution=distribution,
+        )
+    elif distribution == "uniform":
+        users, silos = allocate_uniform(n, n_users, n_silos, rng)
+    elif distribution == "zipf":
+        users, silos = allocate_zipf(n, n_users, n_silos, rng)
+    else:
+        raise ValueError(f"unknown distribution: {distribution!r}")
+
+    silo_data = []
+    for s in range(n_silos):
+        mask = silos == s
+        silo_data.append(SiloData(raw.x[mask], raw.y[mask], users[mask]))
+    return FederatedDataset(
+        silos=silo_data,
+        n_users=n_users,
+        test_x=raw.test_x,
+        test_y=raw.test_y,
+        task=raw.task,
+        name=raw.name,
+    )
+
+
+def federate_presiloed(
+    xs: list[np.ndarray],
+    ys: list[np.ndarray],
+    raw: RawDataset,
+    n_users: int,
+    distribution: str,
+    seed: int,
+    min_records_per_pair: int = 1,
+) -> FederatedDataset:
+    """Allocate users over a pre-siloed dataset (HeartDisease, TcgaBrca)."""
+    rng = np.random.default_rng(seed)
+    sizes = [len(x) for x in xs]
+    if distribution == "uniform":
+        user_lists = allocate_presiloed_uniform(sizes, n_users, rng)
+    elif distribution == "zipf":
+        user_lists = allocate_presiloed_zipf(sizes, n_users, rng)
+    else:
+        raise ValueError(f"unknown distribution: {distribution!r}")
+
+    if min_records_per_pair > 1:
+        flat_users = np.concatenate(user_lists)
+        flat_silos = np.concatenate(
+            [np.full(size, s, dtype=np.int64) for s, size in enumerate(sizes)]
+        )
+        flat_users = enforce_min_records_per_pair(
+            flat_users, flat_silos, min_records_per_pair, rng
+        )
+        user_lists, pos = [], 0
+        for size in sizes:
+            user_lists.append(flat_users[pos : pos + size])
+            pos += size
+
+    silo_data = [SiloData(x, y, u) for x, y, u in zip(xs, ys, user_lists)]
+    return FederatedDataset(
+        silos=silo_data,
+        n_users=n_users,
+        test_x=raw.test_x,
+        test_y=raw.test_y,
+        task=raw.task,
+        name=raw.name,
+    )
+
+
+def build_creditcard_benchmark(
+    n_users: int = 100,
+    n_silos: int = 5,
+    distribution: str = "uniform",
+    n_records: int = 25_000,
+    n_test: int = 5_000,
+    seed: int = 0,
+) -> FederatedDataset:
+    """The Fig. 4 setting: Creditcard-like data over ``n_silos`` silos."""
+    raw = synthetic_creditcard(n_records=n_records, n_test=n_test, seed=seed)
+    return federate_free(raw, n_users, n_silos, distribution, seed + 1)
+
+
+def build_mnist_benchmark(
+    n_users: int = 100,
+    n_silos: int = 5,
+    distribution: str = "uniform",
+    non_iid: bool = False,
+    n_records: int = 6_000,
+    n_test: int = 1_000,
+    seed: int = 0,
+) -> FederatedDataset:
+    """The Fig. 5 setting: MNIST-like data; ``non_iid`` caps users at 2 labels."""
+    raw = synthetic_mnist(n_records=n_records, n_test=n_test, seed=seed)
+    return federate_free(
+        raw, n_users, n_silos, distribution, seed + 1,
+        noniid_labels_per_user=2 if non_iid else None,
+    )
+
+
+def build_heartdisease_benchmark(
+    n_users: int = 50,
+    distribution: str = "uniform",
+    silo_sizes: tuple[int, ...] = HEARTDISEASE_SILO_SIZES,
+    seed: int = 0,
+) -> FederatedDataset:
+    """The Fig. 6 setting: 4 fixed hospital silos, logistic model."""
+    xs, ys, raw = synthetic_heartdisease(silo_sizes=silo_sizes, seed=seed)
+    return federate_presiloed(xs, ys, raw, n_users, distribution, seed + 1)
+
+
+def build_tcgabrca_benchmark(
+    n_users: int = 50,
+    distribution: str = "uniform",
+    silo_sizes: tuple[int, ...] = TCGABRCA_SILO_SIZES,
+    seed: int = 0,
+) -> FederatedDataset:
+    """The Fig. 7 setting: 6 fixed silos, Cox loss, >= 2 records per pair."""
+    xs, ys, raw = synthetic_tcgabrca(silo_sizes=silo_sizes, seed=seed)
+    return federate_presiloed(
+        xs, ys, raw, n_users, distribution, seed + 1, min_records_per_pair=2
+    )

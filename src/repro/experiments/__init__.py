@@ -1,0 +1,24 @@
+"""Library-level experiment definitions for the paper's figures.
+
+Each figure of the paper is encoded as a named experiment: a workload
+builder, the method roster, and a runner returning structured results.
+The pytest benchmarks under ``benchmarks/`` print fuller sweeps; this
+package exposes the same experiments programmatically (and through
+``python -m repro figure <name>``) at a configurable scale.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    describe_experiment,
+    run_experiment,
+    run_experiment_multi_seed,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "describe_experiment",
+    "run_experiment",
+    "run_experiment_multi_seed",
+]

@@ -1,0 +1,307 @@
+"""Experiment registry: one entry per reproducible paper artifact.
+
+Every experiment is a function ``(scale, seed) -> ExperimentResult`` where
+``scale`` in {"smoke", "small", "paper"} controls workload size:
+
+- ``smoke``: seconds; CI-sized sanity run.
+- ``small``: minutes; the default, same as the benchmark suite.
+- ``paper``: the paper's parameters where feasible on a laptop (privacy
+  computations exactly; utility runs with more rounds/records).
+
+Results carry both human-readable tables and machine-readable rows so the
+CLI can print and/or dump JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
+from repro.core.trainer import TrainingHistory
+from repro.data import build_creditcard_benchmark, build_heartdisease_benchmark
+from repro.report import comparison_table
+
+SCALES = ("smoke", "small", "paper")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    histories: list[TrainingHistory] = field(default_factory=list)
+
+    def table(self) -> str:
+        if self.histories:
+            return comparison_table(self.histories)
+        if not self.rows:
+            return "(no rows)"
+        keys = list(self.rows[0])
+        lines = [" ".join(f"{k:>14s}" for k in keys)]
+        for row in self.rows:
+            cells = []
+            for k in keys:
+                v = row[k]
+                cells.append(f"{v:14.4f}" if isinstance(v, float) else f"{v!s:>14s}")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+
+def _scale_params(scale: str) -> dict:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}")
+    return {
+        "smoke": dict(rounds=2, n_records=400, n_users=20, steps=1000),
+        "small": dict(rounds=5, n_records=4000, n_users=100, steps=100_000),
+        "paper": dict(rounds=20, n_records=25_000, n_users=100, steps=100_000),
+    }[scale]
+
+
+# -- Figure 2 ------------------------------------------------------------------
+
+
+def fig02_group_privacy(scale: str, seed: int) -> ExperimentResult:
+    """GDP epsilon vs group size (both conversion routes)."""
+    from repro.accounting.conversion import rdp_curve_to_dp
+    from repro.accounting.group import (
+        group_epsilon_via_normal_dp,
+        group_epsilon_via_rdp,
+    )
+    from repro.accounting.subsampled import subsampled_gaussian_rdp_curve
+
+    params = _scale_params(scale)
+    curve = subsampled_gaussian_rdp_curve(0.01, 5.0, steps=params["steps"])
+    result = ExperimentResult(
+        name="fig02",
+        description=f"group-privacy conversion (sigma=5, q=0.01, "
+        f"steps={params['steps']:,}, delta=1e-5)",
+    )
+    for k in (1, 2, 4, 8, 16, 32, 64):
+        if k == 1:
+            eps_rdp, _ = rdp_curve_to_dp(curve, 1e-5)
+            eps_dp = eps_rdp
+        else:
+            eps_rdp = group_epsilon_via_rdp(curve, k, 1e-5)
+            eps_dp = group_epsilon_via_normal_dp(curve, k, 1e-5)
+        result.rows.append({"k": k, "eps_rdp_route": eps_rdp, "eps_dp_route": eps_dp})
+    return result
+
+
+# -- Figure 4 ------------------------------------------------------------------
+
+
+def fig04_creditcard(scale: str, seed: int) -> ExperimentResult:
+    """Creditcard privacy-utility comparison (one representative config)."""
+    params = _scale_params(scale)
+    fed = build_creditcard_benchmark(
+        n_users=params["n_users"], n_silos=5, distribution="zipf",
+        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
+        seed=seed,
+    )
+    methods = [
+        Default(local_epochs=2),
+        UldpNaive(noise_multiplier=5.0, local_epochs=2),
+        UldpGroup(group_size=8, noise_multiplier=5.0, local_steps=2,
+                  expected_batch_size=512, local_lr=1.0),
+        UldpSgd(noise_multiplier=5.0),
+        UldpAvg(noise_multiplier=5.0, local_epochs=2),
+        UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting="proportional"),
+    ]
+    result = ExperimentResult(
+        name="fig04",
+        description=f"creditcard (zipf, |U|={params['n_users']}, "
+        f"{params['rounds']} rounds, sigma=5)",
+    )
+    for method in methods:
+        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
+        result.histories.append(history)
+    return result
+
+
+# -- Figure 8 ------------------------------------------------------------------
+
+
+def fig08_weighting(scale: str, seed: int) -> ExperimentResult:
+    """Uniform vs Eq. 3 weighting under skew (|S|=20)."""
+    params = _scale_params(scale)
+    fed = build_creditcard_benchmark(
+        n_users=params["n_users"], n_silos=20, distribution="zipf",
+        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
+        seed=seed,
+    )
+    result = ExperimentResult(
+        name="fig08",
+        description=f"weighting strategies (zipf, |S|=20, {params['rounds']} rounds)",
+    )
+    for weighting in ("uniform", "proportional"):
+        method = UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting=weighting)
+        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
+        result.histories.append(history)
+    return result
+
+
+# -- Figure 9 ------------------------------------------------------------------
+
+
+def fig09_subsampling(scale: str, seed: int) -> ExperimentResult:
+    """User-level sub-sampling sweep."""
+    params = _scale_params(scale)
+    fed = build_creditcard_benchmark(
+        n_users=max(params["n_users"], 100), n_silos=5, distribution="zipf",
+        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
+        seed=seed,
+    )
+    result = ExperimentResult(
+        name="fig09",
+        description=f"sub-sampling sweep (|U|={fed.n_users}, sigma=5)",
+    )
+    for q in (0.1, 0.3, 0.5, 0.7, 1.0):
+        method = UldpAvg(
+            noise_multiplier=5.0, local_epochs=1, weighting="proportional",
+            user_sample_rate=None if q == 1.0 else q,
+        )
+        final = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run().final
+        result.rows.append(
+            {"q": q, "metric": final.metric, "loss": final.loss, "epsilon": final.epsilon}
+        )
+    return result
+
+
+# -- Figure 6 ------------------------------------------------------------------
+
+
+def fig06_heartdisease(scale: str, seed: int) -> ExperimentResult:
+    """HeartDisease comparison (4 fixed silos)."""
+    params = _scale_params(scale)
+    fed = build_heartdisease_benchmark(
+        n_users=min(params["n_users"], 50), distribution="zipf", seed=seed
+    )
+    methods = [
+        Default(local_epochs=2),
+        UldpNaive(noise_multiplier=5.0, local_epochs=2),
+        UldpGroup(group_size="median", noise_multiplier=5.0, local_steps=2,
+                  expected_batch_size=256, local_lr=1.0),
+        UldpAvg(noise_multiplier=5.0, local_epochs=2),
+        UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting="proportional"),
+    ]
+    result = ExperimentResult(
+        name="fig06",
+        description=f"heartdisease (zipf, |U|={fed.n_users}, {params['rounds']} rounds)",
+    )
+    for method in methods:
+        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
+        result.histories.append(history)
+    return result
+
+
+# -- Figure 12 -----------------------------------------------------------------
+
+
+def fig12_allocation(scale: str, seed: int) -> ExperimentResult:
+    """Record allocation statistics under both distributions."""
+    import numpy as np
+
+    params = _scale_params(scale)
+    result = ExperimentResult(name="fig12", description="record allocation stats")
+    for dist in ("uniform", "zipf"):
+        fed = build_creditcard_benchmark(
+            n_users=params["n_users"], n_silos=5, distribution=dist,
+            n_records=params["n_records"], n_test=100, seed=seed,
+        )
+        hist = fed.histogram()
+        totals = hist.sum(axis=0)
+        present = totals > 0
+        top_frac = (hist[:, present].max(axis=0) / totals[present]).mean()
+        result.rows.append(
+            {
+                "distribution": dist,
+                "max_records": float(totals.max()),
+                "median_records": float(np.median(totals[present])),
+                "top_silo_fraction": float(top_frac),
+            }
+        )
+    return result
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[str, int], ExperimentResult]]] = {
+    "fig02": ("group-privacy conversion blow-up (exact)", fig02_group_privacy),
+    "fig04": ("creditcard privacy-utility comparison", fig04_creditcard),
+    "fig06": ("heartdisease comparison", fig06_heartdisease),
+    "fig08": ("weighting strategies under skew", fig08_weighting),
+    "fig09": ("user-level sub-sampling sweep", fig09_subsampling),
+    "fig12": ("record allocation statistics", fig12_allocation),
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`run_experiment`."""
+    return sorted(_REGISTRY)
+
+
+def describe_experiment(name: str) -> str:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; see available_experiments()")
+    return _REGISTRY[name][0]
+
+
+def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Run one named experiment at the given scale."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; see available_experiments()")
+    return _REGISTRY[name][1](scale, seed)
+
+
+def run_experiment_multi_seed(
+    name: str, scale: str = "small", seeds: tuple[int, ...] = (0, 1, 2, 3, 4)
+) -> ExperimentResult:
+    """Run an experiment over several seeds and aggregate mean +/- std.
+
+    Mirrors the paper's protocol ("most of the results are averaged over 5
+    runs and the colored area represents the standard deviation").  For
+    history-based experiments the final-round metric/loss/epsilon are
+    aggregated per method; for row-based experiments every numeric column
+    is aggregated per row position.
+    """
+    import numpy as np
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [run_experiment(name, scale=scale, seed=s) for s in seeds]
+    first = runs[0]
+    combined = ExperimentResult(
+        name=name,
+        description=f"{first.description} [mean +/- std over {len(seeds)} seeds]",
+    )
+
+    if first.histories:
+        for i, history in enumerate(first.histories):
+            metrics = [r.histories[i].final.metric for r in runs]
+            losses = [r.histories[i].final.loss for r in runs]
+            eps = [r.histories[i].final.epsilon for r in runs]
+            row: dict = {
+                "method": history.method,
+                "metric_mean": float(np.mean(metrics)),
+                "metric_std": float(np.std(metrics)),
+                "loss_mean": float(np.mean(losses)),
+                "loss_std": float(np.std(losses)),
+            }
+            if eps[0] is not None:
+                row["epsilon_mean"] = float(np.mean(eps))
+                row["epsilon_std"] = float(np.std(eps))
+            combined.rows.append(row)
+        return combined
+
+    for i, base_row in enumerate(first.rows):
+        row = {}
+        for key, value in base_row.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                samples = [float(r.rows[i][key]) for r in runs]
+                row[f"{key}_mean"] = float(np.mean(samples))
+                row[f"{key}_std"] = float(np.std(samples))
+            else:
+                row[key] = value
+        combined.rows.append(row)
+    return combined

@@ -1,0 +1,62 @@
+"""A small numpy neural-network substrate with manual backpropagation.
+
+The paper's reference implementation trains PyTorch models; this package
+replaces exactly the slice of functionality Uldp-FL needs:
+
+- :mod:`repro.nn.layers` -- Linear, Conv2d, pooling, activations, Flatten.
+- :mod:`repro.nn.losses` -- softmax cross-entropy, binary cross-entropy,
+  Cox proportional-hazards partial likelihood (for TcgaBrca).
+- :mod:`repro.nn.model` -- the :class:`Sequential` container, parameter
+  flattening (FL exchanges flat parameter vectors), and the model factories
+  used by the benchmarks.
+- :mod:`repro.nn.optim` -- plain SGD.
+- :mod:`repro.nn.train` -- mini-batch training / evaluation helpers.
+- :mod:`repro.nn.dpsgd` -- DP-SGD (per-sample clipping + Gaussian noise +
+  Poisson sampling), the local subroutine of ULDP-GROUP-k.
+
+All randomness flows through explicit ``numpy.random.Generator`` instances
+so every experiment is reproducible from a seed.
+"""
+
+from repro.nn.clip import clip_factor, l2_clip
+from repro.nn.layers import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Tanh
+from repro.nn.losses import BCEWithLogitsLoss, CoxPHLoss, Loss, SoftmaxCrossEntropyLoss
+from repro.nn.model import (
+    Sequential,
+    build_cox_linear,
+    build_creditcard_mlp,
+    build_logistic,
+    build_mnist_cnn,
+    build_tiny_mlp,
+)
+from repro.nn.optim import SGD
+from repro.nn.train import evaluate_accuracy, evaluate_loss, predict, train_epochs
+from repro.nn.dpsgd import dpsgd_train
+
+__all__ = [
+    "clip_factor",
+    "l2_clip",
+    "AvgPool2d",
+    "Conv2d",
+    "Flatten",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Tanh",
+    "BCEWithLogitsLoss",
+    "CoxPHLoss",
+    "Loss",
+    "SoftmaxCrossEntropyLoss",
+    "Sequential",
+    "build_cox_linear",
+    "build_creditcard_mlp",
+    "build_logistic",
+    "build_mnist_cnn",
+    "build_tiny_mlp",
+    "SGD",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "predict",
+    "train_epochs",
+    "dpsgd_train",
+]

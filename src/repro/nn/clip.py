@@ -1,0 +1,48 @@
+"""L2 clipping primitives.
+
+Clipping is the sensitivity-bounding primitive of every algorithm in the
+paper: silo-level deltas in ULDP-NAIVE (Alg. 1 line 13), per-sample
+gradients in DP-SGD (Alg. 2), and per-user per-silo deltas in ULDP-AVG/SGD
+(Alg. 3 lines 16/23).  It lives in :mod:`repro.nn` because DP-SGD needs it
+below the :mod:`repro.core` layer; :mod:`repro.core.clipping` re-exports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l2_clip(vector: np.ndarray, clip: float) -> np.ndarray:
+    """Scale ``vector`` to l2 norm at most ``clip``.
+
+    Returns ``vector * min(1, clip / ||vector||_2)`` (a copy).  The zero
+    vector is returned unchanged.  A non-finite vector (a diverged local
+    update) is clipped to zero: naive scaling would produce NaNs (inf * 0)
+    that poison the global model permanently, while dropping the update
+    keeps the sensitivity bound intact.
+    """
+    if clip <= 0:
+        raise ValueError("clip bound must be positive")
+    norm = float(np.linalg.norm(vector))
+    if not np.isfinite(norm):
+        return np.zeros(np.asarray(vector).shape, dtype=np.float64)
+    if norm <= clip or norm == 0.0:
+        return np.array(vector, dtype=np.float64, copy=True)
+    return np.asarray(vector, dtype=np.float64) * (clip / norm)
+
+
+def clip_factor(vector: np.ndarray, clip: float) -> float:
+    """The scalar min(1, C / ||v||) applied by :func:`l2_clip`.
+
+    This is the alpha quantity of the convergence analysis (Theorem 6);
+    exposing it separately lets the ablation benches measure clipping bias.
+    A non-finite vector reports factor 0 (fully clipped away).
+    """
+    if clip <= 0:
+        raise ValueError("clip bound must be positive")
+    norm = float(np.linalg.norm(vector))
+    if not np.isfinite(norm):
+        return 0.0
+    if norm == 0.0:
+        return 1.0
+    return min(1.0, clip / norm)

@@ -1,0 +1,179 @@
+"""Loss functions with analytic gradients.
+
+Each loss exposes ``forward(pred, target) -> float`` (mean loss over the
+batch) and ``backward() -> dpred`` (gradient of the *mean* loss w.r.t. the
+predictions, same shape as ``pred``).
+
+The Cox proportional-hazards loss follows the FLamby TcgaBrca setup the
+paper reuses: predictions are linear risk scores, and the loss is the
+negative partial log-likelihood under the Breslow convention.  It needs at
+least one observed event and at least two records to be defined, which is
+why the paper requires >= 2 records per user/silo pair for this dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class DegenerateBatchError(ValueError):
+    """A batch on which the loss is mathematically undefined.
+
+    Raised by :class:`CoxPHLoss` for batches with fewer than two records or
+    no observed events.  Training loops catch this and skip the batch (the
+    standard practice for partial-likelihood losses under mini-batching).
+    """
+
+
+class SoftmaxCrossEntropyLoss(Loss):
+    """Multi-class cross-entropy over logits of shape (N, n_classes).
+
+    Targets are integer class labels of shape (N,).
+    """
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        target = np.asarray(target, dtype=np.int64).ravel()
+        if pred.ndim != 2 or len(target) != pred.shape[0]:
+            raise ValueError("pred must be (N, classes) with N targets")
+        shifted = pred - pred.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._target = target
+        n = pred.shape[0]
+        log_likelihood = np.log(probs[np.arange(n), target] + 1e-300)
+        return float(-log_likelihood.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._target] -= 1.0
+        return grad / n
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy over logits of shape (N,) or (N, 1).
+
+    Targets are 0/1 labels.  Numerically stable formulation:
+    loss = max(z, 0) - z*y + log(1 + exp(-|z|)).
+    """
+
+    def __init__(self):
+        self._z: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._shape = pred.shape
+        z = pred.ravel().astype(np.float64)
+        y = np.asarray(target, dtype=np.float64).ravel()
+        if z.shape != y.shape:
+            raise ValueError("pred and target sizes differ")
+        self._z, self._y = z, y
+        loss = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        return float(loss.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._z is None or self._y is None or self._shape is None:
+            raise RuntimeError("backward called before forward")
+        sigmoid = 1.0 / (1.0 + np.exp(-self._z))
+        grad = (sigmoid - self._y) / len(self._z)
+        return grad.reshape(self._shape)
+
+
+class CoxPHLoss(Loss):
+    """Negative Cox partial log-likelihood (Breslow ties convention).
+
+    Predictions are risk scores eta of shape (N,) or (N, 1).  Targets are
+    shape (N, 2): column 0 is the observed time, column 1 the event
+    indicator (1 = event, 0 = censored).
+
+    loss = -(1/N_events) sum_{i: event} [ eta_i - log sum_{j: t_j >= t_i} exp(eta_j) ]
+    """
+
+    def __init__(self):
+        self._cache: tuple | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        shape = pred.shape
+        eta = pred.ravel().astype(np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim != 2 or target.shape[1] != 2 or target.shape[0] != len(eta):
+            raise ValueError("target must be (N, 2): time, event")
+        times = target[:, 0]
+        events = target[:, 1]
+        n_events = int(events.sum())
+        if n_events == 0:
+            raise DegenerateBatchError("Cox loss undefined without observed events")
+        if len(eta) < 2:
+            raise DegenerateBatchError("Cox loss needs at least two records")
+
+        # Risk-set membership matrix: R[i, j] = 1 iff t_j >= t_i.
+        risk = (times[None, :] >= times[:, None]).astype(np.float64)
+        # Stable log-sum-exp over each risk set.
+        eta_max = eta.max()
+        exp_eta = np.exp(eta - eta_max)
+        risk_sums = risk @ exp_eta  # sum_{j in R_i} exp(eta_j - max)
+        log_risk = np.log(risk_sums) + eta_max
+
+        event_idx = events > 0
+        loss = -(eta[event_idx] - log_risk[event_idx]).sum() / n_events
+        self._cache = (shape, eta, risk, exp_eta, risk_sums, event_idx, n_events)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        shape, eta, risk, exp_eta, risk_sums, event_idx, n_events = self._cache
+        n = len(eta)
+        grad = np.zeros(n)
+        grad[event_idx] -= 1.0
+        # d/d eta_j of sum_i log(sum_{k in R_i} exp(eta_k))
+        #   = sum_{i: event, j in R_i} exp(eta_j) / risk_sums_i
+        weights = np.where(event_idx, 1.0 / risk_sums, 0.0)
+        grad += exp_eta * (risk.T @ weights)
+        return (grad / n_events).reshape(shape)
+
+
+def concordance_index(risk: np.ndarray, times: np.ndarray, events: np.ndarray) -> float:
+    """Harrell's C-index: fraction of comparable pairs ranked correctly.
+
+    A pair (i, j) is comparable when the record with the smaller time had an
+    event (its true risk is known to be higher).  Ties in predicted risk
+    count one half.
+    """
+    risk = np.asarray(risk, dtype=np.float64).ravel()
+    times = np.asarray(times, dtype=np.float64).ravel()
+    events = np.asarray(events, dtype=np.float64).ravel()
+    concordant = 0.0
+    comparable = 0
+    n = len(risk)
+    for i in range(n):
+        if events[i] != 1:
+            continue
+        for j in range(n):
+            if times[j] > times[i]:
+                comparable += 1
+                if risk[i] > risk[j]:
+                    concordant += 1.0
+                elif risk[i] == risk[j]:
+                    concordant += 0.5
+    if comparable == 0:
+        return 0.5
+    return concordant / comparable

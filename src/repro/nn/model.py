@@ -1,0 +1,141 @@
+"""Model container, parameter flattening, and benchmark model factories.
+
+Federated learning exchanges *flat parameter vectors*; the
+:class:`Sequential` container therefore provides ``get_flat_params`` /
+``set_flat_params`` / ``get_flat_grads`` along with clone support so each
+(user, silo) local optimisation can start from the global parameters
+without re-allocating layer structure.
+
+Factories reproduce the paper's model sizes:
+
+- :func:`build_creditcard_mlp` -- MLP with ~4K parameters (Section 5.1).
+- :func:`build_mnist_cnn` -- CNN with ~20K parameters.
+- :func:`build_logistic` -- logistic model (< 100 params, HeartDisease).
+- :func:`build_cox_linear` -- linear Cox risk model (< 100 params, TcgaBrca).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU
+
+
+class Sequential:
+    """A feed-forward stack of layers with flat-parameter accessors."""
+
+    def __init__(self, layers: list[Layer]):
+        self.layers = layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameters into one float64 vector (copy)."""
+        if not self.params:
+            return np.zeros(0)
+        return np.concatenate([p.ravel() for p in self.params])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector (in-place, preserves views)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.num_params:
+            raise ValueError(
+                f"expected {self.num_params} parameters, got {flat.size}"
+            )
+        offset = 0
+        for p in self.params:
+            p[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        if not self.grads:
+            return np.zeros(0)
+        return np.concatenate([g.ravel() for g in self.grads])
+
+    def clone(self) -> "Sequential":
+        """Deep copy (independent parameters and caches)."""
+        return copy.deepcopy(self)
+
+
+def build_tiny_mlp(
+    in_features: int, hidden: int, out_features: int, rng: np.random.Generator
+) -> Sequential:
+    """Small two-layer MLP, the workhorse for fast unit tests."""
+    return Sequential(
+        [
+            Linear(in_features, hidden, rng),
+            ReLU(),
+            Linear(hidden, out_features, rng),
+        ]
+    )
+
+
+def build_creditcard_mlp(rng: np.random.Generator, in_features: int = 30) -> Sequential:
+    """MLP for the Creditcard task (~4K parameters, two logits out)."""
+    return Sequential(
+        [
+            Linear(in_features, 64, rng),
+            ReLU(),
+            Linear(64, 32, rng),
+            ReLU(),
+            Linear(32, 2, rng),
+        ]
+    )
+
+
+def build_mnist_cnn(rng: np.random.Generator, image_size: int = 14, n_classes: int = 10) -> Sequential:
+    """CNN for the MNIST-like task (~20K parameters at the default size)."""
+    after_pool = image_size // 2 // 2
+    flat = 32 * after_pool * after_pool
+    return Sequential(
+        [
+            Conv2d(1, 16, 3, rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(16, 32, 3, rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(flat, 48, rng),
+            ReLU(),
+            Linear(48, n_classes, rng),
+        ]
+    )
+
+
+def build_logistic(rng: np.random.Generator, in_features: int = 13) -> Sequential:
+    """Logistic model for HeartDisease (single logit output)."""
+    return Sequential([Linear(in_features, 1, rng)])
+
+
+def build_cox_linear(rng: np.random.Generator, in_features: int = 39) -> Sequential:
+    """Linear Cox risk-score model for TcgaBrca (single score output)."""
+    return Sequential([Linear(in_features, 1, rng)])

@@ -1,0 +1,29 @@
+"""Optimisers for the numpy substrate.
+
+Only plain SGD is needed: the paper's local solvers are vanilla SGD with a
+local learning rate eta_l, and the server-side update uses a separate global
+learning rate eta_g (two-sided learning rates, Yang et al. 2021), which the
+trainer applies directly to flat parameter vectors.
+"""
+
+from __future__ import annotations
+
+from repro.nn.model import Sequential
+
+
+class SGD:
+    """Vanilla stochastic gradient descent on a :class:`Sequential` model."""
+
+    def __init__(self, model: Sequential, lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.model = model
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one descent step using the gradients stored in the model."""
+        for p, g in zip(self.model.params, self.model.grads):
+            p -= self.lr * g
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()

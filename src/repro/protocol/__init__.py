@@ -1,0 +1,30 @@
+"""Protocol 1: the private weighting protocol of Section 4.
+
+- :mod:`repro.protocol.parties` -- the silo and server roles, one method
+  per lettered protocol step.
+- :mod:`repro.protocol.runner` -- orchestration, phase timing, and the
+  server-view transcript used by the privacy tests.
+- :mod:`repro.protocol.oblivious` -- Naor-Pinkas 1-out-of-P OT and the
+  private user-level sub-sampling extension.
+- :mod:`repro.protocol.secure_method` -- :class:`SecureUldpAvg`, the
+  ULDP-AVG-w method running its aggregation through the real protocol.
+"""
+
+from repro.protocol.oblivious import OTReceiver, OTSender, PrivateSubsampler, transfer
+from repro.protocol.parties import ServerParty, SiloParty
+from repro.protocol.runner import PrivateWeightingProtocol, ServerView
+from repro.protocol.secure_method import SecureUldpAvg
+from repro.protocol.timing import PhaseTimer
+
+__all__ = [
+    "OTReceiver",
+    "OTSender",
+    "PrivateSubsampler",
+    "transfer",
+    "ServerParty",
+    "SiloParty",
+    "PrivateWeightingProtocol",
+    "ServerView",
+    "SecureUldpAvg",
+    "PhaseTimer",
+]

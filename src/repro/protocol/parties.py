@@ -1,0 +1,304 @@
+"""The two party roles of Protocol 1: silos and the aggregation server.
+
+Every method on these classes corresponds to a lettered step of Protocol 1
+in the paper (noted in the docstrings).  The parties communicate only
+through the values returned here; the orchestration (and hence the exact
+set of values each party observes) lives in
+:mod:`repro.protocol.runner`, which also records a transcript of the
+server's view for the privacy tests (Theorem 5).
+
+Conventions:
+
+- all field elements are Python ints in F_n (n = Paillier modulus);
+- model vectors are encoded coordinate-wise (length d lists of ints);
+- pairwise mask contexts include the step label and round number so masks
+  are never reused.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+import numpy as np
+
+from repro.crypto.blinding import BlindingFactory
+from repro.crypto.dh import DHGroup, DHKeypair, decrypt_with_key, derive_shared_key, encrypt_with_key
+from repro.crypto.encoding import encode_scalar, lcm_up_to
+from repro.crypto.masking import PairwiseMasker
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeypair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+
+
+class SiloParty:
+    """One silo: holds per-user record counts and per-round model deltas."""
+
+    def __init__(
+        self,
+        silo_id: int,
+        user_counts: np.ndarray,
+        n_max: int,
+        dh_group: DHGroup,
+        rng: random.Random | None = None,
+    ):
+        """
+        Args:
+            silo_id: index in 0..|S|-1.
+            user_counts: n[s, u] for this silo, length |U|.
+            n_max: public upper bound on records per user (defines C_LCM).
+            dh_group: shared DH group parameters.
+            rng: deterministic randomness for tests (None = secrets).
+        """
+        self.silo_id = silo_id
+        self.user_counts = np.asarray(user_counts, dtype=np.int64)
+        if np.any(self.user_counts < 0):
+            raise ValueError("record counts must be non-negative")
+        if int(self.user_counts.max(initial=0)) > n_max:
+            raise ValueError("a user exceeds N_max; raise n_max")
+        self.n_users = len(self.user_counts)
+        self.n_max = n_max
+        self.c_lcm = lcm_up_to(n_max)
+        self.rng = rng
+        # Setup state, populated by the steps below.
+        self.dh_keypair: DHKeypair = dh_group.keypair(rng=rng)
+        self._peer_public: dict[int, int] = {}
+        self.pair_keys: dict[int, bytes] = {}
+        self.shared_seed: bytes | None = None
+        self.paillier_pk: PaillierPublicKey | None = None
+        self.blinding: BlindingFactory | None = None
+        self.masker: PairwiseMasker | None = None
+
+    # -- Setup steps --------------------------------------------------------
+
+    def dh_public(self) -> int:
+        """Step 1(a): publish this silo's DH public key."""
+        return self.dh_keypair.public
+
+    def receive_dh_publics(self, publics: dict[int, int]) -> None:
+        """Step 1(b): derive pairwise shared keys with every other silo."""
+        for peer, public in publics.items():
+            if peer == self.silo_id:
+                continue
+            secret = self.dh_keypair.shared_secret(public)
+            self.pair_keys[peer] = derive_shared_key(secret, "secure-agg")
+
+    def receive_paillier_key(self, pk: PaillierPublicKey) -> None:
+        """Step 1(a): store the server's Paillier public key."""
+        self.paillier_pk = pk
+        self.masker = PairwiseMasker(self.silo_id, self.pair_keys, pk.n)
+
+    def generate_seed_ciphertexts(self, peers: list[int]) -> dict[int, bytes]:
+        """Step 1(c), silo 0 only: encrypt a fresh seed R for every peer."""
+        if self.silo_id != 0:
+            raise ValueError("only silo 0 distributes the shared seed")
+        if self.rng is not None:
+            seed = self.rng.randbytes(32)
+        else:
+            seed = secrets.token_bytes(32)
+        self.shared_seed = seed
+        out = {}
+        for peer in peers:
+            if peer == 0:
+                continue
+            key = derive_shared_key(
+                self.dh_keypair.shared_secret(self._peer_public[peer]), "seed-transport"
+            )
+            out[peer] = encrypt_with_key(key, seed)
+        return out
+
+    def receive_seed_ciphertext(self, ciphertext: bytes) -> None:
+        """Step 1(c): decrypt the shared seed R from silo 0."""
+        key = derive_shared_key(
+            self.dh_keypair.shared_secret(self._peer_public[0]), "seed-transport"
+        )
+        self.shared_seed = decrypt_with_key(key, ciphertext)
+
+    def remember_peer_publics(self, publics: dict[int, int]) -> None:
+        """Store raw peer DH publics (needed for the seed-transport KDF)."""
+        self._peer_public = dict(publics)
+
+    def blinded_masked_histogram(self) -> list[int]:
+        """Steps 1(d)-(e): doubly blinded histogram B'(n_su) for all users.
+
+        Multiplicative blind r_u (shared seed) hides counts from the server;
+        pairwise additive masks hide this silo's individual contribution so
+        the server only learns the blinded *totals* B(N_u).
+        """
+        pk = self._require_setup()
+        n = pk.n
+        if self.blinding is None:
+            self.blinding = BlindingFactory(self.shared_seed, n)
+        assert self.masker is not None
+        masks = self.masker.mask_vector(self.n_users, context="histogram")
+        out = []
+        for u in range(self.n_users):
+            blinded = self.blinding.blind(u, int(self.user_counts[u]))
+            out.append((blinded + masks[u]) % n)
+        return out
+
+    # -- Weighting round steps ----------------------------------------------
+
+    def weighted_encrypted_delta(
+        self,
+        encrypted_inverses: list[PaillierCiphertext],
+        clipped_deltas: dict[int, np.ndarray],
+        noise: np.ndarray,
+        round_no: int,
+        precision: float,
+    ) -> list[PaillierCiphertext]:
+        """Step 2(b)-(c): the silo's masked encrypted weighted delta vector.
+
+        For each user u with records here and each coordinate j::
+
+            Enc(delta_s[j]) += Enc(B_inv(N_u)) * (Encode(delta_su[j]) * n_su * r_u * C_LCM)
+
+        which decrypts to ``Encode(delta_su[j]) * n_su * C_LCM / N_u`` --
+        the Eq. (3) weight times the delta, scaled by C_LCM.  The encoded
+        noise (times C_LCM) and the per-round secure-aggregation masks are
+        added as homomorphic scalars.
+        """
+        pk = self._require_setup()
+        assert self.blinding is not None and self.masker is not None
+        n = pk.n
+        d = len(noise)
+        # Start from fresh encryptions of zero so per-silo ciphertexts are
+        # semantically secure even before mask addition.
+        rng = self.rng
+        totals = [pk.encrypt(0, rng=rng) for _ in range(d)]
+
+        for user, delta in clipped_deltas.items():
+            n_su = int(self.user_counts[user])
+            if n_su == 0:
+                raise ValueError(f"silo {self.silo_id} has no records of user {user}")
+            if len(delta) != d:
+                raise ValueError("delta dimension mismatch")
+            r_u = self.blinding.blind_for_user(user)
+            factor = n_su * r_u % n * self.c_lcm % n
+            enc_inv = encrypted_inverses[user]
+            for j in range(d):
+                scalar = encode_scalar(float(delta[j]), precision, n) * factor % n
+                totals[j] = totals[j] + enc_inv * scalar
+
+        masks = self.masker.mask_vector(d, context=f"delta-round-{round_no}")
+        for j in range(d):
+            z = encode_scalar(float(noise[j]), precision, n) * self.c_lcm % n
+            totals[j] = pk.add_scalar(totals[j], (z + masks[j]) % n)
+        return totals
+
+    def _require_setup(self) -> PaillierPublicKey:
+        if self.paillier_pk is None:
+            raise RuntimeError("setup incomplete: no Paillier key")
+        if self.shared_seed is None:
+            raise RuntimeError("setup incomplete: no shared seed")
+        return self.paillier_pk
+
+
+class ServerParty:
+    """The aggregation server: generates keys, inverts blinded histograms,
+    distributes encrypted weights, and decrypts only aggregated sums."""
+
+    def __init__(
+        self,
+        n_users: int,
+        paillier_bits: int = 512,
+        rng: random.Random | None = None,
+    ):
+        self.n_users = n_users
+        self.rng = rng
+        self.keypair: PaillierKeypair = generate_paillier_keypair(paillier_bits, rng=rng)
+        self.blinded_totals: list[int] | None = None
+        self.blinded_inverses: list[int] | None = None
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        return self.keypair.public_key
+
+    @property
+    def _private_key(self) -> PaillierPrivateKey:
+        return self.keypair.private_key
+
+    # -- Setup steps ----------------------------------------------------------
+
+    def aggregate_histograms(self, masked_histograms: list[list[int]]) -> None:
+        """Step 1(e): sum doubly blinded histograms; masks cancel, leaving
+        B(N_u) = r_u * N_u mod n."""
+        n = self.public_key.n
+        totals = [0] * self.n_users
+        for hist in masked_histograms:
+            if len(hist) != self.n_users:
+                raise ValueError("histogram length mismatch")
+            for u in range(self.n_users):
+                totals[u] = (totals[u] + hist[u]) % n
+        self.blinded_totals = totals
+
+    def invert_blinded_totals(self) -> None:
+        """Step 1(f): B_inv(N_u) = B(N_u)^-1 over F_n (ext. Euclid).
+
+        Users with zero records everywhere have B(N_u) = 0 which has no
+        inverse; their pseudo-inverse is set to 0 so they simply never
+        contribute (their scalar multiplier is also 0).
+        """
+        if self.blinded_totals is None:
+            raise RuntimeError("aggregate_histograms must run first")
+        n = self.public_key.n
+        inverses = []
+        for value in self.blinded_totals:
+            inverses.append(0 if value == 0 else pow(value, -1, n))
+        self.blinded_inverses = inverses
+
+    # -- Weighting round steps -------------------------------------------------
+
+    def encrypted_inverses(
+        self, sampled_users: np.ndarray | None = None
+    ) -> list[PaillierCiphertext]:
+        """Step 2(a): Paillier-encrypt B_inv(N_u) for broadcast.
+
+        With user-level sub-sampling, non-sampled users get Enc(0): their
+        weighted contributions vanish identically, exactly as if they had
+        not participated (Theorem 4 discussion).
+        """
+        if self.blinded_inverses is None:
+            raise RuntimeError("invert_blinded_totals must run first")
+        include = np.ones(self.n_users, dtype=bool)
+        if sampled_users is not None:
+            include[:] = False
+            include[np.asarray(sampled_users, dtype=np.int64)] = True
+        pk = self.public_key
+        out = []
+        for u in range(self.n_users):
+            value = self.blinded_inverses[u] if include[u] else 0
+            out.append(pk.encrypt(value, rng=self.rng))
+        return out
+
+    def aggregate_and_decrypt(
+        self,
+        silo_ciphertexts: list[list[PaillierCiphertext]],
+        precision: float,
+        c_lcm: int,
+    ) -> np.ndarray:
+        """Step 2(c): homomorphically sum silo vectors, decrypt, decode.
+
+        The pairwise masks cancel in the ciphertext sum; decryption yields
+        ``sum_su Encode(delta_su) * n_su * C_LCM / N_u + sum_s Encode(z_s) * C_LCM``
+        which decodes (signed, /C_LCM, *precision) to the weighted noisy
+        aggregate of ULDP-AVG-w.
+        """
+        if not silo_ciphertexts:
+            raise ValueError("need at least one silo contribution")
+        d = len(silo_ciphertexts[0])
+        pk = self.public_key
+        totals = silo_ciphertexts[0]
+        for vec in silo_ciphertexts[1:]:
+            if len(vec) != d:
+                raise ValueError("ciphertext vector length mismatch")
+            totals = [pk.add(a, b) for a, b in zip(totals, vec)]
+        out = np.empty(d)
+        for j in range(d):
+            signed = self._private_key.decrypt_signed(totals[j])
+            out[j] = (signed / c_lcm) * precision
+        return out

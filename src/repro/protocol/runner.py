@@ -1,0 +1,292 @@
+"""Orchestration of Protocol 1 between in-process parties.
+
+:class:`PrivateWeightingProtocol` wires one :class:`ServerParty` and |S|
+:class:`SiloParty` objects through the setup phase (once) and the weighting
+phase (every round), timing each phase for the Fig. 10-11 benchmarks and
+recording the *server's view* -- every value that crosses the wire toward
+the server -- so the privacy tests can assert the server never sees a raw
+histogram (Theorem 5).
+
+The orchestrator itself plays the network: values returned by one party are
+handed to the other exactly as the protocol prescribes, and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.dh import DHGroup
+from repro.crypto.encoding import check_magnitude_budget, lcm_up_to
+from repro.crypto.paillier import PaillierCiphertext
+from repro.protocol.oblivious import OTReceiver, OTSender, PrivateSubsampler
+from repro.protocol.parties import ServerParty, SiloParty
+from repro.protocol.timing import PhaseTimer
+
+
+@dataclass
+class ServerView:
+    """Everything the server observes across the protocol run."""
+
+    dh_publics: dict[int, int] = field(default_factory=dict)
+    seed_ciphertexts: dict[int, bytes] = field(default_factory=dict)
+    masked_histograms: list[list[int]] = field(default_factory=list)
+    blinded_totals: list[int] = field(default_factory=list)
+    round_ciphertexts: list[list[list[int]]] = field(default_factory=list)
+    decrypted_aggregates: list[np.ndarray] = field(default_factory=list)
+
+
+class PrivateWeightingProtocol:
+    """End-to-end Protocol 1: private ULDP-AVG-w aggregation.
+
+    Args:
+        histogram: the true n[s, u] matrix -- each silo is constructed with
+            *only its own row*; the full matrix never reaches the server.
+        n_max: public bound on records per user (C_LCM = lcm(1..n_max)).
+        paillier_bits: Paillier modulus size (paper: 3072; tests: smaller).
+        precision: fixed-point precision P of Algorithm 5.
+        seed: deterministic randomness for reproducible tests; None uses
+            cryptographically secure randomness.
+    """
+
+    def __init__(
+        self,
+        histogram: np.ndarray,
+        n_max: int = 64,
+        paillier_bits: int = 512,
+        precision: float = 1e-10,
+        dh_group: DHGroup | None = None,
+        seed: int | None = None,
+    ):
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.ndim != 2:
+            raise ValueError("histogram must be (|S|, |U|)")
+        if histogram.shape[0] < 2:
+            raise ValueError("the protocol needs at least two silos")
+        if int(histogram.sum(axis=0).max(initial=0)) > n_max:
+            raise ValueError("some user exceeds N_max across silos; raise n_max")
+        self.histogram = histogram
+        self.n_silos, self.n_users = histogram.shape
+        self.n_max = n_max
+        self.c_lcm = lcm_up_to(n_max)
+        self.precision = precision
+        self.timer = PhaseTimer()
+        self.view = ServerView()
+        self.round_no = 0
+        rng = random.Random(seed) if seed is not None else None
+
+        with self.timer.phase("keygen"):
+            # Group selection is inside the phase: generating the test
+            # group's safe prime is a one-off cost that belongs to keygen,
+            # not to whatever happens to run first afterwards.
+            group = dh_group if dh_group is not None else DHGroup.test_group()
+            self.server = ServerParty(self.n_users, paillier_bits=paillier_bits, rng=rng)
+            self.silos = [
+                SiloParty(s, histogram[s], n_max, group, rng=rng)
+                for s in range(self.n_silos)
+            ]
+        self._setup_done = False
+
+    # -- Setup phase ---------------------------------------------------------
+
+    def run_setup(self) -> None:
+        """Steps 1(a)-(f): key exchange, seed transport, blinded histogram."""
+        with self.timer.phase("key_exchange"):
+            publics = {s.silo_id: s.dh_public() for s in self.silos}
+            self.view.dh_publics = dict(publics)  # server relays these
+            for silo in self.silos:
+                silo.remember_peer_publics(publics)
+                silo.receive_dh_publics(publics)
+                silo.receive_paillier_key(self.server.public_key)
+
+            seed_cts = self.silos[0].generate_seed_ciphertexts(list(publics))
+            self.view.seed_ciphertexts = dict(seed_cts)  # relayed via server
+            for peer, ct in seed_cts.items():
+                self.silos[peer].receive_seed_ciphertext(ct)
+
+        with self.timer.phase("blinded_histogram"):
+            masked = [silo.blinded_masked_histogram() for silo in self.silos]
+            self.view.masked_histograms = [list(h) for h in masked]
+            self.server.aggregate_histograms(masked)
+            assert self.server.blinded_totals is not None
+            self.view.blinded_totals = list(self.server.blinded_totals)
+            self.server.invert_blinded_totals()
+        self._setup_done = True
+
+    # -- Weighting phase -------------------------------------------------------
+
+    def run_round(
+        self,
+        clipped_deltas: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+        sampled_users: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Steps 2(a)-(c) for one training round.
+
+        Args:
+            clipped_deltas: per silo, user id -> clipped (unweighted) delta.
+            noises: per silo Gaussian noise vector.
+            sampled_users: user ids sampled this round (None = everyone);
+                the server zeroes the encrypted weights of the others.
+
+        Returns:
+            The decoded aggregate: sum over silos and users of
+            ``(n_su / N_u) * delta_su`` plus the summed noise.
+        """
+        if not self._setup_done:
+            raise RuntimeError("run_setup must be called first")
+        if len(clipped_deltas) != self.n_silos or len(noises) != self.n_silos:
+            raise ValueError("need one delta dict and noise vector per silo")
+        d = len(noises[0])
+        max_abs = max(
+            [float(np.abs(n).max(initial=0.0)) for n in noises]
+            + [
+                float(np.abs(v).max(initial=0.0))
+                for per_silo in clipped_deltas
+                for v in per_silo.values()
+            ]
+            + [1.0]
+        )
+        if not check_magnitude_budget(
+            self.server.public_key.n, self.c_lcm, self.precision, max_abs,
+            num_terms=self.n_silos * (self.n_users + 1),
+        ):
+            raise ValueError(
+                "fixed-point magnitude budget exceeded; increase paillier_bits "
+                "or precision, or decrease n_max"
+            )
+
+        with self.timer.phase("encrypt_weights"):
+            enc_inverses = self.server.encrypted_inverses(sampled_users)
+
+        silo_vectors = []
+        with self.timer.phase("silo_weighted_encryption"):
+            for s, silo in enumerate(self.silos):
+                silo_vectors.append(
+                    silo.weighted_encrypted_delta(
+                        enc_inverses,
+                        clipped_deltas[s],
+                        noises[s],
+                        round_no=self.round_no,
+                        precision=self.precision,
+                    )
+                )
+        self.view.round_ciphertexts.append(
+            [[c.value for c in vec] for vec in silo_vectors]
+        )
+
+        with self.timer.phase("aggregate_decrypt"):
+            aggregate = self.server.aggregate_and_decrypt(
+                silo_vectors, self.precision, self.c_lcm
+            )
+        self.view.decrypted_aggregates.append(aggregate.copy())
+        self.round_no += 1
+        return aggregate
+
+    # -- Private sub-sampling via 1-out-of-P OT (Section 4.1 extension) --------
+
+    def run_round_ot_sampling(
+        self,
+        clipped_deltas: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+        subsampler: PrivateSubsampler,
+    ) -> np.ndarray:
+        """One round with OT-hidden user-level sub-sampling.
+
+        Instead of broadcasting Enc(B_inv(N_u)) (which tells silos that
+        everyone participates) or zeroed weights (which would tell silos who
+        was dropped), the server prepares P slots per user -- slot 0 holds
+        the real encrypted inverse, the rest hold fresh Enc(0) -- and each
+        silo retrieves one slot by Naor-Pinkas 1-of-P OT:
+
+        - the server cannot tell which slot a silo took (OT receiver
+          privacy), so it does not learn the sampling outcome;
+        - the silo cannot tell whether it holds the real weight or a dummy
+          (Paillier semantic security), so neither does it;
+        - all silos take the *same* slot, derived from their shared seed R
+          (per user, per round), preserving the Poisson-per-user semantics;
+          participation probability is 1/P.
+
+        Returns the decoded aggregate over the implicitly sampled users.
+        """
+        if not self._setup_done:
+            raise RuntimeError("run_setup must be called first")
+        if self.silos[0].shared_seed != subsampler.shared_seed:
+            raise ValueError("subsampler must be seeded with the silos' shared seed R")
+
+        pk = self.server.public_key
+        byte_len = (pk.n_squared.bit_length() + 7) // 8
+        rng = random.Random(self.round_no)  # per-round OT randomness
+        group = self.silos[0].dh_keypair.group
+        n_slots = subsampler.n_slots
+
+        with self.timer.phase("ot_private_sampling"):
+            assert self.server.blinded_inverses is not None
+            per_silo_inverses: list[list[PaillierCiphertext]] = []
+            for silo in self.silos:
+                received: list[PaillierCiphertext] = []
+                for u in range(self.n_users):
+                    # Server-side slot preparation: real weight + dummies.
+                    messages = [
+                        pk.encrypt(self.server.blinded_inverses[u], rng=self.server.rng)
+                    ] + [pk.encrypt(0, rng=self.server.rng) for _ in range(n_slots - 1)]
+                    payloads = [
+                        m.value.to_bytes(byte_len, "big") for m in messages
+                    ]
+                    choice = subsampler.slot_for(u, self.round_no)
+                    sender = OTSender(group, n_slots, rng=rng)
+                    receiver = OTReceiver(
+                        group, sender.public_commitments(), choice, rng=rng
+                    )
+                    slots = sender.encrypt_slots(receiver.public_key(), payloads)
+                    chosen = receiver.decrypt_choice(slots)
+                    received.append(
+                        PaillierCiphertext(int.from_bytes(chosen, "big"), pk)
+                    )
+                per_silo_inverses.append(received)
+
+        d = len(noises[0])
+        silo_vectors = []
+        with self.timer.phase("silo_weighted_encryption"):
+            for s, silo in enumerate(self.silos):
+                silo_vectors.append(
+                    silo.weighted_encrypted_delta(
+                        per_silo_inverses[s],
+                        clipped_deltas[s],
+                        noises[s],
+                        round_no=self.round_no,
+                        precision=self.precision,
+                    )
+                )
+
+        with self.timer.phase("aggregate_decrypt"):
+            aggregate = self.server.aggregate_and_decrypt(
+                silo_vectors, self.precision, self.c_lcm
+            )
+        self.round_no += 1
+        return aggregate
+
+    # -- Reference computation -------------------------------------------------
+
+    def plaintext_reference(
+        self,
+        clipped_deltas: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+        sampled_users: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """The non-secure computation Theorem 4 compares against."""
+        totals = self.histogram.sum(axis=0)
+        include = np.ones(self.n_users, dtype=bool)
+        if sampled_users is not None:
+            include[:] = False
+            include[np.asarray(sampled_users, dtype=np.int64)] = True
+        aggregate = np.zeros(len(noises[0]))
+        for s in range(self.n_silos):
+            for user, delta in clipped_deltas[s].items():
+                if not include[user] or totals[user] == 0:
+                    continue
+                aggregate += (self.histogram[s, user] / totals[user]) * delta
+            aggregate += noises[s]
+        return aggregate

@@ -1,0 +1,48 @@
+"""Phase timing instrumentation for the protocol benchmarks (Figs. 10-11).
+
+The paper reports per-phase execution times (key exchange, blinded-histogram
+preparation, local training, encrypted aggregation).  :class:`PhaseTimer`
+accumulates wall-clock durations under named phases; the protocol runner
+wraps each step with it so benchmarks can read the breakdown directly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self):
+        self.totals: dict[str, float] = defaultdict(float)
+        self.counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] += time.perf_counter() - start
+            self.counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        self.totals[name] += seconds
+        self.counts[name] += 1
+
+    def report(self) -> dict[str, float]:
+        """Total seconds per phase (copy)."""
+        return dict(self.totals)
+
+    def summary(self) -> str:
+        lines = [
+            f"  {name:<28s} {seconds * 1000:10.1f} ms  (x{self.counts[name]})"
+            for name, seconds in sorted(self.totals.items())
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Tests for epsilon-targeted calibration of sigma and q."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.calibration import (
+    _epsilon,
+    calibrate_noise_multiplier,
+    calibrate_sample_rate,
+)
+
+
+class TestCalibrateNoise:
+    def test_achieves_target(self):
+        sigma = calibrate_noise_multiplier(2.0, 1e-5, steps=100)
+        assert _epsilon(sigma, 1.0, 100, 1e-5) <= 2.0
+
+    def test_is_tight(self):
+        """A noticeably smaller sigma must miss the target."""
+        sigma = calibrate_noise_multiplier(2.0, 1e-5, steps=100)
+        assert _epsilon(sigma * 0.9, 1.0, 100, 1e-5) > 2.0
+
+    @given(
+        target=st.floats(0.5, 20.0),
+        steps=st.integers(1, 500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_target(self, target, steps):
+        tight = calibrate_noise_multiplier(target, 1e-5, steps)
+        loose = calibrate_noise_multiplier(target * 2, 1e-5, steps)
+        assert loose <= tight * 1.01
+
+    def test_subsampling_needs_less_noise(self):
+        full = calibrate_noise_multiplier(1.0, 1e-5, steps=50, sample_rate=1.0)
+        sub = calibrate_noise_multiplier(1.0, 1e-5, steps=50, sample_rate=0.1)
+        assert sub < full
+
+    def test_paper_setting_roundtrip(self):
+        """sigma=5, T=10: calibrating to the resulting epsilon recovers ~5."""
+        eps = _epsilon(5.0, 1.0, 10, 1e-5)
+        sigma = calibrate_noise_multiplier(eps, 1e-5, steps=10)
+        assert sigma == pytest.approx(5.0, rel=0.01)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(0.0, 1e-5, 10)
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(1.0, 1e-5, 0)
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(1.0, 1e-5, 10, sample_rate=0.0)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(1e-9, 1e-5, steps=10_000, sigma_max=10.0)
+
+
+class TestCalibrateSampleRate:
+    def test_achieves_target(self):
+        q = calibrate_sample_rate(0.5, 1e-5, steps=100, noise_multiplier=5.0)
+        assert q < 1.0
+        assert _epsilon(5.0, q, 100, 1e-5) <= 0.5
+
+    def test_returns_one_when_budget_ample(self):
+        assert calibrate_sample_rate(100.0, 1e-5, steps=10, noise_multiplier=5.0) == 1.0
+
+    def test_is_maximal(self):
+        q = calibrate_sample_rate(0.5, 1e-5, steps=100, noise_multiplier=5.0)
+        assert _epsilon(5.0, min(1.0, q + 0.02), 100, 1e-5) > 0.5
+
+    def test_tighter_budget_smaller_q(self):
+        loose = calibrate_sample_rate(1.0, 1e-5, steps=100, noise_multiplier=5.0)
+        tight = calibrate_sample_rate(0.3, 1e-5, steps=100, noise_multiplier=5.0)
+        assert tight < loose
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            calibrate_sample_rate(-1.0, 1e-5, 10, 5.0)
+        with pytest.raises(ValueError):
+            calibrate_sample_rate(1.0, 1e-5, 10, 0.0)
+
+    def test_unreachable_raises(self):
+        # sigma tiny: even q -> 0 cannot hit a microscopic budget.
+        with pytest.raises(ValueError):
+            calibrate_sample_rate(1e-8, 1e-5, steps=100_000, noise_multiplier=0.3)

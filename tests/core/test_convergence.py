@@ -1,0 +1,75 @@
+"""Tests for the Theorem 6 convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, UldpAvg
+from repro.core.convergence import diagnose
+from repro.data import build_creditcard_benchmark
+from repro.nn.model import build_tiny_mlp
+
+
+def run_method(weighting, fed, clip=1.0, sigma=5.0, rounds=2, seed=0):
+    model = build_tiny_mlp(30, 6, 2, np.random.default_rng(1))
+    method = UldpAvg(
+        clip=clip, noise_multiplier=sigma, local_epochs=1, weighting=weighting,
+        record_clip_stats=True,
+    )
+    Trainer(fed, method, rounds=rounds, model=model, seed=seed).run()
+    return method, model
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return build_creditcard_benchmark(
+        n_users=20, n_silos=4, distribution="zipf",
+        n_records=400, n_test=100, seed=0,
+    )
+
+
+class TestDiagnose:
+    def test_fields_populated(self, fed):
+        method, model = run_method("uniform", fed)
+        diag = diagnose(method, model.num_params)
+        assert 0.0 < diag.alpha_bar <= 1.0
+        assert diag.l1_bias >= 0
+        assert diag.l2_bias >= 0
+        assert 0.0 <= diag.clip_rate <= 1.0
+        assert "alpha_bar=" in diag.summary()
+
+    def test_noise_term_formula(self, fed):
+        method, model = run_method("uniform", fed, clip=2.0, sigma=3.0)
+        diag = diagnose(method, model.num_params)
+        expected = 3.0**2 * 2.0**2 * model.num_params / (4 * 20**2)
+        assert diag.noise_term == pytest.approx(expected)
+
+    def test_requires_clip_stats(self, fed):
+        method = UldpAvg(local_epochs=1)  # record_clip_stats off
+        model = build_tiny_mlp(30, 6, 2, np.random.default_rng(1))
+        Trainer(fed, method, rounds=1, model=model, seed=0).run()
+        with pytest.raises(ValueError):
+            diagnose(method, model.num_params)
+
+    def test_tiny_clip_forces_full_clipping(self, fed):
+        method, model = run_method("uniform", fed, clip=1e-6)
+        diag = diagnose(method, model.num_params)
+        assert diag.clip_rate > 0.95
+
+    def test_huge_clip_means_no_clipping(self, fed):
+        # sigma=0: with clip=1e6 the per-silo noise std sigma*C/sqrt(|S|)
+        # would otherwise destroy the model between rounds.
+        method, model = run_method("uniform", fed, clip=1e6, sigma=0.0)
+        diag = diagnose(method, model.num_params)
+        assert diag.clip_rate < 0.05
+        # With no clipping, all alphas equal their weights; uniform weights
+        # then give near-zero variance *among present pairs* but the
+        # absent-pair zeros still contribute dispersion.
+        assert diag.l2_bias >= 0
+
+    def test_more_noise_larger_noise_term(self, fed):
+        lo, model = run_method("uniform", fed, sigma=1.0)
+        hi, _ = run_method("uniform", fed, sigma=10.0)
+        assert (
+            diagnose(hi, model.num_params).noise_term
+            > diagnose(lo, model.num_params).noise_term
+        )

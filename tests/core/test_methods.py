@@ -1,0 +1,228 @@
+"""Behavioural tests for each FL method (Algorithms 1-4 + DEFAULT)."""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import (
+    Default,
+    UldpAvg,
+    UldpGroup,
+    UldpNaive,
+    UldpSgd,
+    build_group_flags,
+    resolve_group_size,
+)
+from repro.data import build_creditcard_benchmark
+from repro.data.federated import FederatedDataset, SiloData
+from repro.nn.model import build_tiny_mlp
+
+
+@pytest.fixture()
+def small_fed():
+    return build_creditcard_benchmark(
+        n_users=10, n_silos=3, n_records=300, n_test=60, seed=0
+    )
+
+
+def run_method(method, fed, rounds=2, seed=0, model=None):
+    rng = np.random.default_rng(seed)
+    if model is None:
+        model = build_tiny_mlp(fed.test_x.shape[1], 8, 2, np.random.default_rng(1))
+    method.prepare(fed, model, rng)
+    params = model.get_flat_params()
+    for t in range(rounds):
+        params = method.round(t, params)
+    return params
+
+
+class TestDefault:
+    def test_round_changes_params(self, small_fed):
+        method = Default(local_epochs=1)
+        before = build_tiny_mlp(30, 8, 2, np.random.default_rng(1)).get_flat_params()
+        after = run_method(method, small_fed, rounds=1)
+        assert not np.allclose(before, after)
+
+    def test_not_private(self):
+        method = Default()
+        assert method.is_private is False
+        assert method.epsilon(1e-5) is None
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Default(global_lr=0.0)
+        with pytest.raises(ValueError):
+            Default(local_epochs=0)
+
+    def test_round_before_prepare_raises(self):
+        with pytest.raises(RuntimeError):
+            Default().round(0, np.zeros(3))
+
+
+class TestUldpNaive:
+    def test_epsilon_matches_theorem1(self, small_fed):
+        from repro.accounting.conversion import rdp_curve_to_dp
+        from repro.accounting.rdp import gaussian_rdp_curve
+
+        method = UldpNaive(noise_multiplier=5.0, local_epochs=1)
+        run_method(method, small_fed, rounds=3)
+        expected, _ = rdp_curve_to_dp(gaussian_rdp_curve(5.0, steps=3), 1e-5)
+        assert method.epsilon(1e-5) == pytest.approx(expected)
+
+    def test_zero_noise_deterministic_given_seed(self, small_fed):
+        a = run_method(UldpNaive(noise_multiplier=0.0, local_epochs=1), small_fed, seed=5)
+        b = run_method(UldpNaive(noise_multiplier=0.0, local_epochs=1), small_fed, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            UldpNaive(clip=0.0)
+        with pytest.raises(ValueError):
+            UldpNaive(noise_multiplier=-1.0)
+
+
+class TestUldpGroup:
+    def test_group_size_policies(self, small_fed):
+        totals = small_fed.user_totals()
+        assert resolve_group_size(small_fed, "max") == int(totals.max())
+        assert resolve_group_size(small_fed, "median") == int(np.median(totals[totals > 0]))
+        assert resolve_group_size(small_fed, 8) == 8
+        with pytest.raises(ValueError):
+            resolve_group_size(small_fed, "p99")
+        with pytest.raises(ValueError):
+            resolve_group_size(small_fed, 0)
+
+    def test_flags_bound_user_contribution(self, small_fed):
+        k = 4
+        flags = build_group_flags(small_fed, k)
+        filtered = small_fed.apply_flags(flags)
+        assert filtered.user_totals().max() <= k
+
+    def test_flags_max_keeps_everything(self, small_fed):
+        k = int(small_fed.user_totals().max())
+        flags = build_group_flags(small_fed, k)
+        assert small_fed.apply_flags(flags).n_records == small_fed.n_records
+
+    def test_flags_spread_across_silos(self):
+        """Round-robin keeps records in multiple silos when possible."""
+        silos = [
+            SiloData(np.zeros((5, 2)), np.zeros(5), np.zeros(5, dtype=int)),
+            SiloData(np.zeros((5, 2)), np.zeros(5), np.zeros(5, dtype=int)),
+        ]
+        fed = FederatedDataset(
+            silos=silos, n_users=1, test_x=np.zeros((1, 2)), test_y=np.zeros(1),
+            task="binary", name="t",
+        )
+        flags = build_group_flags(fed, 4)
+        assert flags[0].sum() == 2 and flags[1].sum() == 2
+
+    def test_group_epsilon_exceeds_record_level(self, small_fed):
+        method = UldpGroup(
+            group_size=4, noise_multiplier=5.0, local_steps=1, expected_batch_size=16
+        )
+        run_method(method, small_fed, rounds=2)
+        assert method.epsilon(1e-5) > method.record_level_epsilon(1e-5)
+
+    def test_display_name_resolves_policy(self, small_fed):
+        method = UldpGroup(group_size="max", local_steps=1)
+        rng = np.random.default_rng(0)
+        model = build_tiny_mlp(30, 8, 2, rng)
+        method.prepare(small_fed, model, rng)
+        assert method.display_name == f"ULDP-GROUP-{int(small_fed.user_totals().max())}"
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            UldpGroup(clip=-1.0)
+        with pytest.raises(ValueError):
+            UldpGroup(local_steps=0)
+        with pytest.raises(ValueError):
+            UldpGroup(expected_batch_size=0)
+
+
+class TestUldpAvg:
+    def test_epsilon_matches_theorem3(self, small_fed):
+        from repro.accounting.conversion import rdp_curve_to_dp
+        from repro.accounting.rdp import gaussian_rdp_curve
+
+        method = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        run_method(method, small_fed, rounds=4)
+        expected, _ = rdp_curve_to_dp(gaussian_rdp_curve(5.0, steps=4), 1e-5)
+        assert method.epsilon(1e-5) == pytest.approx(expected)
+
+    def test_subsampling_reduces_epsilon(self, small_fed):
+        full = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        run_method(full, small_fed, rounds=3)
+        sub = UldpAvg(noise_multiplier=5.0, local_epochs=1, user_sample_rate=0.3)
+        run_method(sub, small_fed, rounds=3)
+        assert sub.epsilon(1e-5) < full.epsilon(1e-5)
+
+    def test_display_names(self):
+        assert UldpAvg(weighting="uniform").display_name == "ULDP-AVG"
+        assert UldpAvg(weighting="proportional").display_name == "ULDP-AVG-w"
+
+    def test_proportional_weights_used(self, small_fed):
+        method = UldpAvg(weighting="proportional", local_epochs=1)
+        rng = np.random.default_rng(0)
+        model = build_tiny_mlp(30, 8, 2, rng)
+        method.prepare(small_fed, model, rng)
+        hist = small_fed.histogram().astype(float)
+        totals = hist.sum(axis=0)
+        expected = np.where(totals > 0, hist / np.where(totals > 0, totals, 1), 0.0)
+        np.testing.assert_allclose(method.weights, expected)
+
+    def test_default_global_lr_scales_with_size(self, small_fed):
+        # Remark 3: eta_g = |S| * sqrt(|U| * Q).
+        method = UldpAvg(local_epochs=4)
+        rng = np.random.default_rng(0)
+        method.prepare(small_fed, build_tiny_mlp(30, 8, 2, rng), rng)
+        expected = small_fed.n_silos * np.sqrt(small_fed.n_users * 4)
+        assert method.global_lr == pytest.approx(expected)
+
+    def test_clip_stats_recorded(self, small_fed):
+        method = UldpAvg(local_epochs=1, record_clip_stats=True, noise_multiplier=0.0)
+        run_method(method, small_fed, rounds=2)
+        assert len(method.clip_factor_history) == 2
+        factors = method.clip_factor_history[0]
+        present = ~np.isnan(factors)
+        assert present.any()
+        assert np.all(factors[present] <= 1.0 + 1e-12)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            UldpAvg(weighting="learned")
+        with pytest.raises(ValueError):
+            UldpAvg(user_sample_rate=0.0)
+        with pytest.raises(ValueError):
+            UldpAvg(user_sample_rate=1.5)
+        with pytest.raises(ValueError):
+            UldpAvg(local_epochs=0)
+
+
+class TestUldpSgd:
+    def test_round_descends_loss_without_noise(self, small_fed):
+        from repro.core.metrics import evaluate_model
+
+        rng = np.random.default_rng(2)
+        model = build_tiny_mlp(30, 8, 2, np.random.default_rng(3))
+        method = UldpSgd(noise_multiplier=0.0, clip=10.0)
+        method.prepare(small_fed, model, rng)
+        params = model.get_flat_params()
+        model.set_flat_params(params)
+        before = evaluate_model(small_fed, model)["loss"]
+        for t in range(10):
+            params = method.round(t, params)
+        model.set_flat_params(params)
+        after = evaluate_model(small_fed, model)["loss"]
+        assert after < before
+
+    def test_epsilon_same_formula_as_avg(self, small_fed):
+        sgd = UldpSgd(noise_multiplier=5.0)
+        avg = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        run_method(sgd, small_fed, rounds=2, seed=1)
+        run_method(avg, small_fed, rounds=2, seed=2)
+        assert sgd.epsilon(1e-5) == pytest.approx(avg.epsilon(1e-5))
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            UldpSgd(weighting="magic")
+        with pytest.raises(ValueError):
+            UldpSgd(user_sample_rate=2.0)

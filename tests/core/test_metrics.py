@@ -1,0 +1,75 @@
+"""Tests for task-dependent evaluation, including degenerate models."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import evaluate_model, make_loss, metric_name, output_width
+from repro.data import build_creditcard_benchmark, build_tcgabrca_benchmark
+from repro.nn.layers import ReLU
+from repro.nn.model import Sequential, build_tiny_mlp
+
+
+class TestOutputWidth:
+    def test_mlp(self):
+        model = build_tiny_mlp(4, 8, 3, np.random.default_rng(0))
+        assert output_width(model) == 3
+
+    def test_no_linear_layer_rejected(self):
+        with pytest.raises(ValueError):
+            output_width(Sequential([ReLU()]))
+
+
+class TestEvaluateModel:
+    def test_classification_keys(self):
+        fed = build_creditcard_benchmark(n_users=5, n_silos=2, n_records=60,
+                                         n_test=30, seed=0)
+        model = build_tiny_mlp(30, 4, 2, np.random.default_rng(0))
+        scores = evaluate_model(fed, model)
+        assert set(scores) == {"loss", "accuracy"}
+        assert 0 <= scores["accuracy"] <= 1
+
+    def test_survival_keys(self):
+        fed = build_tcgabrca_benchmark(n_users=6, silo_sizes=(40, 40), seed=0)
+        model = build_tiny_mlp(39, 4, 1, np.random.default_rng(0))
+        scores = evaluate_model(fed, model)
+        assert set(scores) == {"loss", "c_index"}
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_diverged_classifier_reports_inf_loss(self):
+        fed = build_creditcard_benchmark(n_users=5, n_silos=2, n_records=60,
+                                         n_test=30, seed=0)
+        model = build_tiny_mlp(30, 4, 2, np.random.default_rng(0))
+        model.set_flat_params(np.full(model.num_params, np.inf))
+        scores = evaluate_model(fed, model)
+        assert scores["loss"] == float("inf")
+        assert scores["accuracy"] == 0.0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_diverged_survival_reports_chance(self):
+        fed = build_tcgabrca_benchmark(n_users=6, silo_sizes=(40, 40), seed=0)
+        model = build_tiny_mlp(39, 4, 1, np.random.default_rng(0))
+        model.set_flat_params(np.full(model.num_params, np.nan))
+        scores = evaluate_model(fed, model)
+        assert scores["loss"] == float("inf")
+        assert scores["c_index"] == 0.5
+
+
+class TestTopLevelExports:
+    def test_lazy_exports_resolve(self):
+        import repro
+
+        assert repro.SecureUldpAvg.__name__ == "SecureUldpAvg"
+        assert callable(repro.calibrate_noise_multiplier)
+        assert callable(repro.run_experiment)
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            _ = repro.NotAThing
+
+    def test_dir_includes_exports(self):
+        import repro
+
+        names = dir(repro)
+        assert "Trainer" in names and "UldpAvg" in names

@@ -1,0 +1,99 @@
+"""Tests for the clipping-weight strategies (Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighting import (
+    proportional_weights,
+    subsample_weights,
+    uniform_weights,
+    validate_weights,
+)
+
+
+class TestUniformWeights:
+    def test_values_and_shape(self):
+        w = uniform_weights(5, 10)
+        assert w.shape == (5, 10)
+        assert np.all(w == 0.2)
+
+    def test_column_sums_equal_one(self):
+        w = uniform_weights(4, 7)
+        np.testing.assert_allclose(w.sum(axis=0), 1.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            uniform_weights(0, 5)
+
+
+class TestProportionalWeights:
+    def test_eq3_hand_example(self):
+        hist = np.array([[3, 0], [1, 5]])
+        w = proportional_weights(hist)
+        np.testing.assert_allclose(w, [[0.75, 0.0], [0.25, 1.0]])
+
+    @given(
+        st.integers(2, 6), st.integers(2, 20),
+    )
+    @settings(max_examples=30)
+    def test_column_sums(self, n_silos, n_users):
+        rng = np.random.default_rng(n_silos * 100 + n_users)
+        hist = rng.integers(0, 10, size=(n_silos, n_users))
+        w = proportional_weights(hist)
+        totals = hist.sum(axis=0)
+        sums = w.sum(axis=0)
+        np.testing.assert_allclose(sums[totals > 0], 1.0)
+        np.testing.assert_allclose(sums[totals == 0], 0.0)
+
+    def test_absent_user_gets_zero(self):
+        hist = np.array([[0], [0]])
+        assert np.all(proportional_weights(hist) == 0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            proportional_weights(np.array([[-1, 2]]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            proportional_weights(np.array([1, 2, 3]))
+
+
+class TestValidateWeights:
+    def test_accepts_valid(self):
+        validate_weights(uniform_weights(3, 4))
+        validate_weights(proportional_weights(np.array([[2, 1], [0, 1]])))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_weights(np.array([[-0.1], [1.1]]))
+
+    def test_rejects_oversized_column(self):
+        with pytest.raises(ValueError):
+            validate_weights(np.array([[0.7], [0.7]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            validate_weights(np.ones(3))
+
+
+class TestSubsampleWeights:
+    def test_zeroes_unsampled_columns(self):
+        w = uniform_weights(2, 4)
+        sub = subsample_weights(w, np.array([1, 3]))
+        np.testing.assert_allclose(sub[:, [1, 3]], 0.5)
+        np.testing.assert_allclose(sub[:, [0, 2]], 0.0)
+
+    def test_original_untouched(self):
+        w = uniform_weights(2, 3)
+        subsample_weights(w, np.array([0]))
+        assert np.all(w == 0.5)
+
+    def test_empty_sample_zeroes_all(self):
+        sub = subsample_weights(uniform_weights(2, 3), np.array([], dtype=int))
+        assert np.all(sub == 0.0)
+
+    def test_still_valid_after_subsampling(self):
+        w = proportional_weights(np.array([[3, 2, 0], [1, 0, 4]]))
+        validate_weights(subsample_weights(w, np.array([0, 2])))

@@ -1,0 +1,142 @@
+"""Tests for Diffie-Hellman agreement, the KDF/stream cipher, and masking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import (
+    DHGroup,
+    decrypt_with_key,
+    derive_shared_key,
+    encrypt_with_key,
+)
+from repro.crypto.masking import PairwiseMasker, prg_field_elements
+
+
+@pytest.fixture(scope="module")
+def group():
+    return DHGroup.test_group()
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self, group):
+        rng = random.Random(0)
+        alice = group.keypair(rng=rng)
+        bob = group.keypair(rng=rng)
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_distinct_pairs_distinct_secrets(self, group):
+        rng = random.Random(1)
+        a, b, c = (group.keypair(rng=rng) for _ in range(3))
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_rejects_degenerate_peer_values(self, group):
+        kp = group.keypair(rng=random.Random(2))
+        for bad in (0, 1, group.prime - 1, group.prime):
+            with pytest.raises(ValueError):
+                kp.shared_secret(bad)
+
+    def test_kdf_context_separation(self, group):
+        rng = random.Random(3)
+        a = group.keypair(rng=rng)
+        b = group.keypair(rng=rng)
+        s = a.shared_secret(b.public)
+        assert derive_shared_key(s, "secure-agg") != derive_shared_key(s, "seed-transport")
+
+    def test_rfc3526_group_loads(self):
+        g = DHGroup.rfc3526_2048()
+        assert g.prime.bit_length() == 2048
+        assert g.generator == 2
+
+
+class TestStreamCipher:
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip(self, plaintext):
+        key = derive_shared_key(123456789, "seed-transport")
+        assert decrypt_with_key(key, encrypt_with_key(key, plaintext)) == plaintext
+
+    def test_different_keys_give_different_ciphertexts(self):
+        msg = b"shared seed R" * 3
+        k1 = derive_shared_key(1, "x")
+        k2 = derive_shared_key(2, "x")
+        assert encrypt_with_key(k1, msg) != encrypt_with_key(k2, msg)
+
+
+class TestPrgFieldElements:
+    def test_deterministic(self):
+        a = prg_field_elements(b"seed", 10, 2**64 + 13)
+        b = prg_field_elements(b"seed", 10, 2**64 + 13)
+        assert a == b
+
+    def test_context_separation(self):
+        a = prg_field_elements(b"seed", 10, 2**64 + 13, context="round-0")
+        b = prg_field_elements(b"seed", 10, 2**64 + 13, context="round-1")
+        assert a != b
+
+    @given(st.integers(min_value=2, max_value=2**80))
+    @settings(max_examples=50)
+    def test_in_range(self, modulus):
+        values = prg_field_elements(b"s", 8, modulus)
+        assert all(0 <= v < modulus for v in values)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            prg_field_elements(b"s", 1, 1)
+
+
+class TestPairwiseMasker:
+    def _build_parties(self, n_parties, modulus, seed=0):
+        """All pairs share a key; return one masker per party."""
+        rng = random.Random(seed)
+        pair_keys = {}
+        for i in range(n_parties):
+            for j in range(i + 1, n_parties):
+                pair_keys[(i, j)] = rng.randbytes(32)
+        maskers = []
+        for i in range(n_parties):
+            keys = {}
+            for j in range(n_parties):
+                if j == i:
+                    continue
+                keys[j] = pair_keys[(min(i, j), max(i, j))]
+            maskers.append(PairwiseMasker(i, keys, modulus))
+        return maskers
+
+    @pytest.mark.parametrize("n_parties", [2, 3, 5, 8])
+    def test_masks_cancel(self, n_parties):
+        modulus = 2**127 - 1
+        maskers = self._build_parties(n_parties, modulus)
+        length = 6
+        total = [0] * length
+        for m in maskers:
+            vec = m.mask_vector(length, context="t")
+            for k in range(length):
+                total[k] = (total[k] + vec[k]) % modulus
+        assert total == [0] * length
+
+    def test_masked_sum_recovers_plain_sum(self):
+        modulus = 2**89 - 1
+        maskers = self._build_parties(4, modulus, seed=3)
+        rng = random.Random(7)
+        values = [[rng.randrange(1000) for _ in range(5)] for _ in range(4)]
+        masked_total = [0] * 5
+        for m, vals in zip(maskers, values):
+            mask = m.mask_vector(5, context="round-9")
+            for k in range(5):
+                masked_total[k] = (masked_total[k] + vals[k] + mask[k]) % modulus
+        plain_total = [sum(v[k] for v in values) % modulus for k in range(5)]
+        assert masked_total == plain_total
+
+    def test_single_mask_nonzero(self):
+        # An individual party's masked value must not equal its plain value
+        # (otherwise nothing is hidden).
+        maskers = self._build_parties(3, 2**61 - 1, seed=5)
+        vec = maskers[0].mask_vector(4, context="c")
+        assert any(v != 0 for v in vec)
+
+    def test_contexts_give_independent_masks(self):
+        maskers = self._build_parties(2, 2**61 - 1, seed=6)
+        assert maskers[0].mask_vector(4, "a") != maskers[0].mask_vector(4, "b")

@@ -1,0 +1,76 @@
+"""Tests for Miller-Rabin primality testing and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import is_probable_prime, random_distinct_primes, random_prime
+
+KNOWN_PRIMES = [
+    2, 3, 5, 7, 11, 13, 101, 7919, 104729, 1299709,
+    2**31 - 1,          # Mersenne prime
+    (1 << 89) - 1,      # Mersenne prime
+]
+
+KNOWN_COMPOSITES = [
+    0, 1, 4, 9, 15, 21, 100, 561, 1105, 1729,          # Carmichael numbers included
+    2821, 6601, 8911, 41041, 62745, 63973,             # more Carmichael numbers
+    2**31, (2**31 - 1) * 3, 104729 * 1299709,
+]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_rejects_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    def test_rejects_negative(self):
+        assert not is_probable_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_matches_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+    def test_large_prime_product_rejected(self):
+        p = random_prime(128, rng=random.Random(1))
+        q = random_prime(128, rng=random.Random(2))
+        assert not is_probable_prime(p * q)
+
+
+class TestRandomPrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(42)
+        for bits in (64, 96, 128):
+            p = random_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        # Needed so p*q has exactly 2*bits bits.
+        rng = random.Random(7)
+        p = random_prime(64, rng=rng)
+        assert (p >> 62) & 0b11 == 0b11
+
+    def test_deterministic_with_seeded_rng(self):
+        a = random_prime(96, rng=random.Random(123))
+        b = random_prime(96, rng=random.Random(123))
+        assert a == b
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            random_prime(4)
+
+    def test_distinct_primes(self):
+        p, q = random_distinct_primes(64, rng=random.Random(5))
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+        # product has exactly 128 bits
+        assert (p * q).bit_length() == 128

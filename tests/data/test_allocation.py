@@ -1,0 +1,193 @@
+"""Tests for record allocation schemes (Section 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.allocation import (
+    allocate_noniid_by_label,
+    allocate_presiloed_uniform,
+    allocate_presiloed_zipf,
+    allocate_uniform,
+    allocate_zipf,
+    enforce_min_records_per_pair,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(50, 0.5)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w > 0)
+
+    def test_decreasing(self):
+        w = zipf_weights(20, 2.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_alpha_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_higher_alpha_more_concentrated(self):
+        shallow = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > shallow[0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestFreeAllocation:
+    @given(st.integers(50, 500), st.integers(2, 20), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_shapes_and_ranges(self, n, users, silos):
+        rng = np.random.default_rng(n)
+        u, s = allocate_uniform(n, users, silos, rng)
+        assert len(u) == len(s) == n
+        assert u.min() >= 0 and u.max() < users
+        assert s.min() >= 0 and s.max() < silos
+
+    def test_uniform_is_roughly_balanced(self):
+        rng = np.random.default_rng(0)
+        u, s = allocate_uniform(50_000, 10, 5, rng)
+        user_counts = np.bincount(u, minlength=10)
+        silo_counts = np.bincount(s, minlength=5)
+        assert user_counts.std() / user_counts.mean() < 0.05
+        assert silo_counts.std() / silo_counts.mean() < 0.05
+
+    @given(st.integers(100, 1000), st.integers(5, 50), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_zipf_shapes_and_ranges(self, n, users, silos):
+        rng = np.random.default_rng(n + 1)
+        u, s = allocate_zipf(n, users, silos, rng)
+        assert len(u) == len(s) == n
+        assert u.min() >= 0 and u.max() < users
+        assert s.min() >= 0 and s.max() < silos
+
+    def test_zipf_user_counts_skewed(self):
+        rng = np.random.default_rng(1)
+        u, _ = allocate_zipf(20_000, 100, 5, rng, alpha_user=0.5)
+        counts = np.sort(np.bincount(u, minlength=100))[::-1]
+        # Top user should hold several times the median user's records.
+        assert counts[0] > 3 * max(np.median(counts), 1)
+
+    def test_zipf_silo_concentration_per_user(self):
+        """alpha_silo=2.0 concentrates each user's records in one silo."""
+        rng = np.random.default_rng(2)
+        u, s = allocate_zipf(20_000, 20, 5, rng)
+        fracs = []
+        for user in range(20):
+            mask = u == user
+            if mask.sum() < 10:
+                continue
+            silo_counts = np.bincount(s[mask], minlength=5)
+            fracs.append(silo_counts.max() / mask.sum())
+        assert np.mean(fracs) > 0.55  # zipf(2.0) puts ~64% on rank 1
+
+    def test_deterministic_given_seed(self):
+        a = allocate_zipf(500, 10, 3, np.random.default_rng(7))
+        b = allocate_zipf(500, 10, 3, np.random.default_rng(7))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestPresiloedAllocation:
+    def test_uniform_respects_silo_sizes(self):
+        rng = np.random.default_rng(3)
+        sizes = [30, 50, 20]
+        lists = allocate_presiloed_uniform(sizes, 10, rng)
+        assert [len(l) for l in lists] == sizes
+        assert all(l.max() < 10 for l in lists)
+
+    def test_zipf_respects_silo_sizes(self):
+        rng = np.random.default_rng(4)
+        sizes = [40, 60, 30, 70]
+        lists = allocate_presiloed_zipf(sizes, 15, rng)
+        assert [len(l) for l in lists] == sizes
+
+    def test_zipf_primary_silo_concentration(self):
+        rng = np.random.default_rng(5)
+        sizes = [200, 200, 200, 200]
+        lists = allocate_presiloed_zipf(sizes, 10, rng, primary_fraction=0.8)
+        users = np.concatenate(lists)
+        silos = np.concatenate([np.full(sz, i) for i, sz in enumerate(sizes)])
+        fracs = []
+        for user in range(10):
+            mask = users == user
+            if mask.sum() < 10:
+                continue
+            counts = np.bincount(silos[mask], minlength=4)
+            fracs.append(counts.max() / mask.sum())
+        # Most records of a user should sit in that user's primary silo.
+        assert np.mean(fracs) > 0.5
+
+    def test_zipf_rejects_bad_primary_fraction(self):
+        with pytest.raises(ValueError):
+            allocate_presiloed_zipf([10], 5, np.random.default_rng(0), primary_fraction=0.0)
+
+
+class TestNonIidAllocation:
+    def test_each_user_sees_at_most_two_labels(self):
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 10, size=5000)
+        users, silos = allocate_noniid_by_label(labels, 50, 5, rng, labels_per_user=2)
+        for user in range(50):
+            seen = np.unique(labels[users == user])
+            assert len(seen) <= 2
+
+    def test_all_records_assigned(self):
+        rng = np.random.default_rng(7)
+        labels = rng.integers(0, 10, size=1000)
+        users, silos = allocate_noniid_by_label(labels, 20, 4, rng)
+        assert len(users) == len(silos) == 1000
+        assert users.max() < 20 and silos.max() < 4
+
+    def test_zipf_silo_variant(self):
+        rng = np.random.default_rng(8)
+        labels = rng.integers(0, 10, size=2000)
+        users, silos = allocate_noniid_by_label(
+            labels, 20, 5, rng, silo_distribution="zipf"
+        )
+        assert silos.max() < 5
+
+    def test_rejects_unknown_silo_distribution(self):
+        with pytest.raises(ValueError):
+            allocate_noniid_by_label(
+                np.zeros(10, dtype=int), 2, 2, np.random.default_rng(0),
+                silo_distribution="nope",
+            )
+
+
+class TestMinRecordsEnforcement:
+    def test_enforces_minimum(self):
+        rng = np.random.default_rng(9)
+        users = rng.integers(0, 30, size=100)
+        silos = rng.integers(0, 4, size=100)
+        fixed = enforce_min_records_per_pair(users, silos, 2, rng)
+        for s in range(4):
+            in_silo = fixed[silos == s]
+            ids, counts = np.unique(in_silo, return_counts=True)
+            assert np.all(counts >= 2) or len(ids) == 1
+
+    def test_noop_when_already_satisfied(self):
+        users = np.array([0, 0, 1, 1])
+        silos = np.array([0, 0, 0, 0])
+        fixed = enforce_min_records_per_pair(users, silos, 2, np.random.default_rng(0))
+        np.testing.assert_array_equal(fixed, users)
+
+    def test_does_not_mutate_input(self):
+        users = np.array([0, 1, 2, 3])
+        silos = np.zeros(4, dtype=int)
+        enforce_min_records_per_pair(users, silos, 2, np.random.default_rng(0))
+        np.testing.assert_array_equal(users, [0, 1, 2, 3])
+
+    def test_rejects_bad_minimum(self):
+        with pytest.raises(ValueError):
+            enforce_min_records_per_pair(
+                np.zeros(3, dtype=int), np.zeros(3, dtype=int), 0, np.random.default_rng(0)
+            )

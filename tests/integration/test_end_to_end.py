@@ -1,0 +1,150 @@
+"""Cross-module integration tests: full pipelines on every dataset/task.
+
+These exercise the complete stack -- synthetic data, allocation, per-user
+training, clipping/weighting, noise, accounting -- at small scale, and
+assert the *relational* facts the paper's evaluation rests on rather than
+absolute utilities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
+from repro.data import (
+    build_creditcard_benchmark,
+    build_heartdisease_benchmark,
+    build_mnist_benchmark,
+    build_tcgabrca_benchmark,
+)
+
+DELTA = 1e-5
+
+
+class TestAllDatasetsAllMethods:
+    """Every method must run end-to-end on every task type."""
+
+    @pytest.fixture(scope="class")
+    def feds(self):
+        return {
+            "creditcard": build_creditcard_benchmark(
+                n_users=8, n_silos=2, n_records=160, n_test=40, seed=0
+            ),
+            "mnist": build_mnist_benchmark(
+                n_users=6, n_silos=2, n_records=60, n_test=20, seed=0
+            ),
+            "heartdisease": build_heartdisease_benchmark(
+                n_users=8, silo_sizes=(40, 30), seed=0
+            ),
+            "tcgabrca": build_tcgabrca_benchmark(
+                n_users=6, silo_sizes=(40, 40), seed=0
+            ),
+        }
+
+    @pytest.mark.parametrize("dataset", ["creditcard", "mnist", "heartdisease", "tcgabrca"])
+    @pytest.mark.parametrize(
+        "method_factory",
+        [
+            lambda: Default(local_epochs=1),
+            lambda: UldpNaive(noise_multiplier=1.0, local_epochs=1),
+            lambda: UldpGroup(group_size=2, noise_multiplier=1.0, local_steps=1,
+                              expected_batch_size=8),
+            lambda: UldpAvg(noise_multiplier=1.0, local_epochs=1),
+            lambda: UldpAvg(noise_multiplier=1.0, local_epochs=1,
+                            weighting="proportional"),
+            lambda: UldpSgd(noise_multiplier=1.0),
+        ],
+        ids=["DEFAULT", "NAIVE", "GROUP-2", "AVG", "AVG-w", "SGD"],
+    )
+    def test_runs_and_reports(self, feds, dataset, method_factory):
+        fed = feds[dataset]
+        history = Trainer(fed, method_factory(), rounds=2, delta=DELTA, seed=1).run()
+        assert len(history.records) == 2
+        final = history.final
+        assert np.isfinite(final.loss)
+        if fed.task == "survival":
+            assert 0.0 <= final.metric <= 1.0
+        else:
+            assert 0.0 <= final.metric <= 1.0
+        if history.method != "DEFAULT":
+            assert final.epsilon is not None and final.epsilon > 0
+
+
+class TestPaperRelations:
+    """The relations the paper's figures demonstrate, at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def fed(self):
+        return build_creditcard_benchmark(
+            n_users=30, n_silos=3, distribution="zipf",
+            n_records=600, n_test=200, seed=2,
+        )
+
+    def test_group_epsilon_dwarfs_direct_methods(self, fed):
+        group = UldpGroup(group_size=8, noise_multiplier=5.0, local_steps=1,
+                          expected_batch_size=64)
+        avg = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        eps_group = Trainer(fed, group, rounds=3, seed=3).run().final.epsilon
+        eps_avg = Trainer(fed, avg, rounds=3, seed=3).run().final.epsilon
+        assert eps_group > 5 * eps_avg
+
+    def test_naive_and_avg_share_theorem_epsilon(self, fed):
+        naive = UldpNaive(noise_multiplier=5.0, local_epochs=1)
+        avg = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        eps_naive = Trainer(fed, naive, rounds=2, seed=4).run().final.epsilon
+        eps_avg = Trainer(fed, avg, rounds=2, seed=4).run().final.epsilon
+        assert eps_naive == pytest.approx(eps_avg)
+
+    def test_subsampling_strictly_amplifies(self, fed):
+        full = UldpAvg(noise_multiplier=5.0, local_epochs=1)
+        sub = UldpAvg(noise_multiplier=5.0, local_epochs=1, user_sample_rate=0.3)
+        eps_full = Trainer(fed, full, rounds=2, seed=5).run().final.epsilon
+        eps_sub = Trainer(fed, sub, rounds=2, seed=5).run().final.epsilon
+        assert eps_sub < 0.8 * eps_full
+
+    def test_default_learns_the_synthetic_task(self, fed):
+        history = Trainer(
+            fed, Default(local_epochs=2, local_lr=0.1), rounds=8, seed=6
+        ).run()
+        majority = max(fed.test_y.mean(), 1 - fed.test_y.mean())
+        assert history.final.metric > majority + 0.02
+
+    def test_group_flag_strategies_order_epsilon_by_k(self, fed):
+        eps = {}
+        for k in (2, 8):
+            method = UldpGroup(group_size=k, noise_multiplier=5.0, local_steps=1,
+                               expected_batch_size=64)
+            eps[k] = Trainer(fed, method, rounds=2, seed=7).run().final.epsilon
+        assert eps[8] > eps[2]
+
+    def test_noise_hurts_utility_on_average(self, fed):
+        """sigma=0 (no DP noise) should beat sigma=5 utility-wise over
+        several seeds -- the basic privacy/utility trade-off."""
+        wins = 0
+        trials = 3
+        for seed in range(trials):
+            clean = Trainer(
+                fed, UldpAvg(noise_multiplier=0.0, local_epochs=1), rounds=3,
+                seed=10 + seed,
+            ).run().final.metric
+            noisy = Trainer(
+                fed, UldpAvg(noise_multiplier=5.0, local_epochs=1), rounds=3,
+                seed=10 + seed,
+            ).run().final.metric
+            if clean >= noisy:
+                wins += 1
+        assert wins >= 2
+
+
+class TestHistoryBookkeeping:
+    def test_round_numbers_and_monotone_epsilon_all_methods(self):
+        fed = build_heartdisease_benchmark(n_users=10, silo_sizes=(30, 30), seed=8)
+        for method in (
+            UldpNaive(noise_multiplier=2.0, local_epochs=1),
+            UldpAvg(noise_multiplier=2.0, local_epochs=1),
+            UldpGroup(group_size=2, noise_multiplier=2.0, local_steps=1,
+                      expected_batch_size=8),
+        ):
+            history = Trainer(fed, method, rounds=3, seed=9).run()
+            assert history.series("round") == [1, 2, 3]
+            eps = history.series("epsilon")
+            assert all(b > a for a, b in zip(eps, eps[1:]))

@@ -1,0 +1,130 @@
+"""Failure-injection tests: what breaks when protocol assumptions break.
+
+The paper's trust model requires all silos to participate in every round
+(secure-aggregation masks only cancel over the full set) and semi-honest
+behaviour.  These tests verify the implementation *fails loudly or
+detectably* rather than silently producing wrong results when those
+assumptions are violated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.masking import PairwiseMasker
+from repro.protocol import PrivateWeightingProtocol
+
+HIST = np.array([
+    [3, 0, 2],
+    [1, 4, 1],
+    [2, 1, 1],
+])
+
+
+def make_protocol(seed=0):
+    proto = PrivateWeightingProtocol(HIST, n_max=16, paillier_bits=256, seed=seed)
+    proto.run_setup()
+    return proto
+
+
+def make_inputs(proto, d=4, seed=1):
+    rng = np.random.default_rng(seed)
+    deltas = [
+        {u: rng.standard_normal(d) for u in range(proto.n_users) if proto.histogram[s, u] > 0}
+        for s in range(proto.n_silos)
+    ]
+    noises = [rng.standard_normal(d) for _ in range(proto.n_silos)]
+    return deltas, noises
+
+
+class TestSiloDropout:
+    def test_missing_silo_corrupts_aggregate(self):
+        """Dropping one silo's ciphertexts leaves uncancelled masks: the
+        decrypted aggregate is garbage (enormous), not a plausible value --
+        dropout is detectable, matching the all-rounds participation
+        assumption."""
+        proto = make_protocol()
+        deltas, noises = make_inputs(proto)
+        enc_inverses = proto.server.encrypted_inverses()
+        vectors = []
+        for s, silo in enumerate(proto.silos):
+            vectors.append(
+                silo.weighted_encrypted_delta(
+                    enc_inverses, deltas[s], noises[s], round_no=0,
+                    precision=proto.precision,
+                )
+            )
+        # Server aggregates only two of three silos.
+        partial = proto.server.aggregate_and_decrypt(
+            vectors[:2], proto.precision, proto.c_lcm
+        )
+        reference = proto.plaintext_reference(deltas, noises)
+        # The result is wildly off (uncancelled ~n-sized masks decode to
+        # astronomically large magnitudes), never a near-miss.
+        assert np.max(np.abs(partial - reference)) > 1e6
+
+    def test_full_participation_recovers(self):
+        proto = make_protocol()
+        deltas, noises = make_inputs(proto)
+        out = proto.run_round(deltas, noises)
+        ref = proto.plaintext_reference(deltas, noises)
+        assert np.max(np.abs(out - ref)) < 1e-6
+
+
+class TestMaskMisuse:
+    def test_context_reuse_breaks_cancellation(self):
+        """Masks are bound to (step, round) contexts; reusing a context
+        across different value vectors double-counts masks."""
+        keys = {1: b"k" * 32}
+        a = PairwiseMasker(0, keys, modulus=2**61 - 1)
+        b = PairwiseMasker(1, {0: b"k" * 32}, modulus=2**61 - 1)
+        m_a = a.mask_vector(3, context="round-0")
+        m_b = b.mask_vector(3, context="round-1")  # wrong context
+        total = [(x + y) % (2**61 - 1) for x, y in zip(m_a, m_b)]
+        assert total != [0, 0, 0]
+
+    def test_same_context_cancels(self):
+        a = PairwiseMasker(0, {1: b"k" * 32}, modulus=2**61 - 1)
+        b = PairwiseMasker(1, {0: b"k" * 32}, modulus=2**61 - 1)
+        m_a = a.mask_vector(3, context="round-0")
+        m_b = b.mask_vector(3, context="round-0")
+        assert [(x + y) % (2**61 - 1) for x, y in zip(m_a, m_b)] == [0, 0, 0]
+
+
+class TestHistogramTampering:
+    def test_inconsistent_silo_histogram_shifts_weights_only(self):
+        """A silo lying about its counts (semi-honest violation) changes
+        weights but cannot break decryption -- quantifying the blast
+        radius."""
+        proto_honest = make_protocol(seed=3)
+        deltas, noises = make_inputs(proto_honest)
+        honest = proto_honest.run_round(deltas, noises)
+
+        lying_hist = HIST.copy()
+        lying_hist[0, 0] = 9  # silo 0 inflates its count for user 0
+        proto_lying = PrivateWeightingProtocol(
+            lying_hist, n_max=16, paillier_bits=256, seed=3
+        )
+        proto_lying.run_setup()
+        lying = proto_lying.run_round(deltas, noises)
+
+        # Both decode to finite, plausible aggregates...
+        assert np.all(np.isfinite(lying))
+        # ...but user 0's effective weight moved (3/6 -> 9/12).
+        assert not np.allclose(lying, honest, atol=1e-8)
+
+    def test_user_exceeding_nmax_rejected_at_construction(self):
+        bad = HIST.copy()
+        bad[0, 0] = 100
+        with pytest.raises(ValueError):
+            PrivateWeightingProtocol(bad, n_max=16, paillier_bits=256, seed=0)
+
+
+class TestEncodingOverflowInjection:
+    def test_overflow_guard_triggers_before_corruption(self):
+        proto = make_protocol()
+        deltas, noises = make_inputs(proto)
+        # Must breach n/2 after the 1/P fixed-point scaling and the C_LCM
+        # factor: for a 256-bit modulus that needs ~1e65.
+        deltas[0][0] = np.full(4, 1e65)
+        with pytest.raises(ValueError, match="magnitude budget"):
+            proto.run_round(deltas, noises)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEpsilonCommand:
+    def test_basic_query(self, capsys):
+        assert main(["epsilon", "--sigma", "5.0", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "eps=" in out and "alpha=" in out
+
+    def test_group_conversion_reported(self, capsys):
+        main([
+            "epsilon", "--sigma", "5.0", "--steps", "1000",
+            "--sample-rate", "0.01", "--group-size", "8",
+        ])
+        out = capsys.readouterr().out
+        assert "group-privacy conversion (k=8" in out
+
+    def test_matches_accountant(self, capsys):
+        from repro.accounting import PrivacyAccountant
+
+        main(["epsilon", "--sigma", "5.0", "--steps", "100"])
+        out = capsys.readouterr().out
+        acct = PrivacyAccountant()
+        acct.step(5.0, steps=100)
+        expected = acct.get_epsilon(1e-5)
+        reported = float(out.split("=> eps=")[1].split()[0])
+        assert reported == pytest.approx(expected, abs=1e-3)
+
+
+class TestCalibrateCommand:
+    def test_solve_sigma(self, capsys):
+        assert main(["calibrate", "--target-epsilon", "2.0", "--steps", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma=" in out
+
+    def test_solve_q(self, capsys):
+        main([
+            "calibrate", "--target-epsilon", "0.5", "--steps", "100",
+            "--solve-for", "q", "--sigma", "5.0",
+        ])
+        out = capsys.readouterr().out
+        assert "q=" in out
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("creditcard", "mnist", "heartdisease", "tcgabrca"):
+            assert name in out
+
+
+class TestTrainCommand:
+    def test_small_run_with_output(self, capsys, tmp_path):
+        out_file = tmp_path / "history.json"
+        code = main([
+            "train", "--dataset", "creditcard", "--method", "uldp-avg",
+            "--rounds", "2", "--users", "8", "--silos", "2",
+            "--records", "120", "--local-epochs", "1",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ULDP-AVG" in out
+        payload = json.loads(out_file.read_text())
+        assert payload[0]["schema"] == "uldp-fl-history/v1"
+        assert len(payload[0]["records"]) == 2
+
+    def test_default_method(self, capsys):
+        code = main([
+            "train", "--dataset", "creditcard", "--method", "default",
+            "--rounds", "1", "--users", "6", "--silos", "2",
+            "--records", "80", "--local-epochs", "1",
+        ])
+        assert code == 0
+        assert "(none)" in capsys.readouterr().out
+
+    def test_heartdisease_run(self, capsys):
+        code = main([
+            "train", "--dataset", "heartdisease", "--method", "uldp-naive",
+            "--rounds", "1", "--users", "10", "--local-epochs", "1",
+        ])
+        assert code == 0
+        assert "heartdisease" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,113 @@
+"""Tests for the experiment registry and the CLI figure subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    available_experiments,
+    describe_experiment,
+    run_experiment,
+    run_experiment_multi_seed,
+)
+
+
+class TestRegistry:
+    def test_lists_figures(self):
+        names = available_experiments()
+        assert "fig02" in names and "fig04" in names and "fig09" in names
+
+    def test_descriptions(self):
+        for name in available_experiments():
+            assert len(describe_experiment(name)) > 10
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+        with pytest.raises(KeyError):
+            describe_experiment("fig99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig04", scale="huge")
+
+
+class TestSmokeScaleRuns:
+    def test_fig02(self):
+        result = run_experiment("fig02", scale="smoke")
+        ks = [r["k"] for r in result.rows]
+        assert ks == [1, 2, 4, 8, 16, 32, 64]
+        eps = [r["eps_rdp_route"] for r in result.rows]
+        assert all(b > a for a, b in zip(eps, eps[1:]))
+        assert "k" in result.table()
+
+    def test_fig04(self):
+        result = run_experiment("fig04", scale="smoke")
+        methods = [h.method for h in result.histories]
+        assert "DEFAULT" in methods and "ULDP-AVG-w" in methods
+        assert "DEFAULT" in result.table()
+
+    def test_fig06(self):
+        result = run_experiment("fig06", scale="smoke")
+        assert len(result.histories) == 5
+
+    def test_fig08(self):
+        result = run_experiment("fig08", scale="smoke")
+        assert [h.method for h in result.histories] == ["ULDP-AVG", "ULDP-AVG-w"]
+
+    def test_fig09(self):
+        result = run_experiment("fig09", scale="smoke")
+        eps = [r["epsilon"] for r in result.rows]
+        assert all(b > a for a, b in zip(eps, eps[1:]))
+
+    def test_fig12(self):
+        result = run_experiment("fig12", scale="smoke")
+        by_dist = {r["distribution"]: r for r in result.rows}
+        assert by_dist["zipf"]["top_silo_fraction"] > by_dist["uniform"]["top_silo_fraction"]
+
+
+class TestMultiSeed:
+    def test_history_experiment_aggregated(self):
+        result = run_experiment_multi_seed("fig08", scale="smoke", seeds=(0, 1))
+        assert "mean +/- std over 2 seeds" in result.description
+        assert len(result.rows) == 2  # two methods
+        for row in result.rows:
+            assert "metric_mean" in row and "metric_std" in row
+            assert row["metric_std"] >= 0
+
+    def test_row_experiment_aggregated(self):
+        result = run_experiment_multi_seed("fig12", scale="smoke", seeds=(0, 1))
+        for row in result.rows:
+            assert "max_records_mean" in row
+            assert row["distribution"] in ("uniform", "zipf")
+
+    def test_deterministic_quantity_has_zero_std(self):
+        # Epsilon is a pure accounting quantity: identical across seeds.
+        result = run_experiment_multi_seed("fig09", scale="smoke", seeds=(0, 1))
+        for row in result.rows:
+            assert row["epsilon_std"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            run_experiment_multi_seed("fig08", seeds=())
+
+
+class TestFigureCli:
+    def test_list(self, capsys):
+        assert main(["figure", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+
+    def test_run_fig02(self, capsys):
+        assert main(["figure", "fig02", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "group-privacy" in out
+
+    def test_missing_name_errors(self, capsys):
+        assert main(["figure"]) == 2
+
+    def test_output_file(self, capsys, tmp_path):
+        out_file = tmp_path / "fig08.json"
+        assert main([
+            "figure", "fig08", "--scale", "smoke", "--output", str(out_file)
+        ]) == 0
+        assert out_file.exists()
