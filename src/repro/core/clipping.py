@@ -4,8 +4,23 @@ The implementation lives in the :mod:`repro.nn` layer so that DP-SGD can
 use it without importing the full :mod:`repro.core` package (which imports
 the methods, which import DP-SGD -- a cycle otherwise).  Import from here
 in application code; the canonical definition is shared.
+
+The ``*_rows`` variants clip every row of a ``(G, P)`` delta matrix at
+once -- the vectorized engine's counterpart of per-user clipping.
 """
 
-from repro.nn.clip import clip_factor, l2_clip
+from repro.nn.clip import (
+    clip_factor,
+    clip_factor_from_norms,
+    clip_factor_rows,
+    l2_clip,
+    l2_clip_rows,
+)
 
-__all__ = ["clip_factor", "l2_clip"]
+__all__ = [
+    "clip_factor",
+    "clip_factor_from_norms",
+    "clip_factor_rows",
+    "l2_clip",
+    "l2_clip_rows",
+]

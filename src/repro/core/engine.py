@@ -1,0 +1,320 @@
+"""Vectorized multi-user local-training engine (the hot path of ULDP-AVG).
+
+ULDP-AVG's defining cost is that every silo trains a *separate* per-user
+model delta each round (Algorithm 3), which the straightforward
+implementation realises as a Python loop over |S| x |U| tiny training runs:
+clone the model, load the global parameters, run Q local epochs on a
+handful of records.  This module replaces that loop with one batched
+computation: all sampled users of a silo are stacked into a padded
+``(n_users, batch, features)`` tensor, a :class:`repro.nn.model.BatchedSequential`
+holds one parameter copy per user, and the Q local epochs run as batched
+forward/backward passes -- returning the full matrix of per-user deltas in
+one shot.  Per-user clipping then becomes a row-wise operation
+(:func:`repro.core.clipping.l2_clip_rows`) and aggregation a weighted
+matmul.
+
+Equivalence contract: for every job the batched computation performs the
+same linear algebra as the per-user loop -- same initial parameters, same
+minibatch partitions, same loss normalisation, same degenerate-batch
+skipping -- so both engines produce identical round aggregates up to
+floating-point reassociation (verified to ``atol <= 1e-10`` by
+``tests/core/test_engine_equivalence.py``).  Randomness discipline: the
+engine itself never consumes RNG.  Minibatch orders are pre-drawn by the
+caller with :func:`draw_minibatch_schedule` in exactly the order the loop
+path draws them, which keeps the two engines' random streams -- and hence
+their noise draws -- bit-identical.
+
+Methods expose the choice as ``engine="loop" | "vectorized"``
+(:class:`repro.core.methods.base.FLMethod`); the loop path remains as a
+differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import make_batched_loss, make_loss
+from repro.nn.batched import per_group_gradients
+from repro.nn.clip import clip_factor_from_norms, clip_factor_rows, l2_clip_rows
+from repro.nn.model import Sequential, batch_model
+
+#: Engine names accepted by :class:`repro.core.methods.base.FLMethod`.
+ENGINES = ("loop", "vectorized")
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name, returning it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+#: Reused (G, P) result buffers.  The round loop produces one large delta
+#: or gradient matrix per round with a stable shape; re-allocating it every
+#: round spends more time in page faults than in arithmetic.  Contents are
+#: valid only until the next call with the same shape -- callers consume
+#: the matrix within the round.
+_MATRIX_POOL: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _pooled_matrix(shape: tuple[int, int]) -> np.ndarray:
+    """An uninitialised reusable matrix of the given shape."""
+    buf = _MATRIX_POOL.get(shape)
+    if buf is None:
+        if len(_MATRIX_POOL) >= 8:
+            _MATRIX_POOL.clear()
+        buf = np.empty(shape)
+        _MATRIX_POOL[shape] = buf
+    return buf
+
+
+@dataclass
+class LocalJob:
+    """One local optimisation problem: a (silo, user) or silo dataset.
+
+    ``schedule`` carries pre-drawn minibatch index arrays (see
+    :func:`draw_minibatch_schedule`); ``None`` means full-batch descent,
+    the ULDP-AVG default for tiny per-user datasets.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    schedule: list[list[np.ndarray]] | None = field(default=None)
+
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+
+def draw_minibatch_schedule(
+    n: int, batch_size: int | None, epochs: int, rng: np.random.Generator
+) -> list[list[np.ndarray]] | None:
+    """Pre-draw the minibatch partition :func:`repro.nn.train.train_epochs` would use.
+
+    Consumes the RNG exactly as the loop path does: one permutation per
+    epoch when the effective batch is smaller than the dataset, nothing
+    otherwise (full-batch iteration draws no randomness).  Returns ``None``
+    in the full-batch case so callers can tell the two apart.
+    """
+    if n < 1:
+        raise ValueError("cannot schedule an empty dataset")
+    batch = n if batch_size is None else max(1, min(batch_size, n))
+    if batch >= n:
+        return None
+    schedule: list[list[np.ndarray]] = []
+    for _ in range(max(0, epochs)):
+        order = rng.permutation(n)
+        schedule.append([order[start : start + batch] for start in range(0, n, batch)])
+    return schedule
+
+
+def _stack_jobs(jobs: list[LocalJob]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad and stack job datasets into (G, Nmax, ...) tensors plus a mask."""
+    n_max = max(job.n for job in jobs)
+    x0, y0 = np.asarray(jobs[0].x), np.asarray(jobs[0].y)
+    xs = np.zeros((len(jobs), n_max, *x0.shape[1:]), dtype=np.float64)
+    ys = np.zeros((len(jobs), n_max, *y0.shape[1:]), dtype=np.float64)
+    mask = np.zeros((len(jobs), n_max), dtype=bool)
+    for g, job in enumerate(jobs):
+        xs[g, : job.n] = job.x
+        ys[g, : job.n] = job.y
+        mask[g, : job.n] = True
+    return xs, ys, mask
+
+
+def _job_steps(job: LocalJob, epoch: int) -> list[np.ndarray]:
+    """Index arrays of one job's minibatches in ``epoch`` (full-batch: one)."""
+    if job.schedule is None:
+        return [np.arange(job.n)]
+    return job.schedule[epoch]
+
+
+def _size_buckets(jobs: list[LocalJob]) -> list[list[int]]:
+    """Partition job indices into buckets of similar record count.
+
+    Stacking pads every job to the largest job's length; when counts are
+    skewed (zipf user allocations) that wastes most of the tensor on
+    padding.  Bucketing by next-power-of-two record count bounds the
+    padding overhead at 2x while keeping the bucket count logarithmic.
+    Jobs are independent, so splitting changes no results.
+    """
+    buckets: dict[int, list[int]] = {}
+    for i, job in enumerate(jobs):
+        key = max(1, job.n - 1).bit_length()
+        buckets.setdefault(key, []).append(i)
+    return [buckets[key] for key in sorted(buckets)]
+
+
+def _train_bucket(
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs: list[LocalJob],
+    lr: float,
+    epochs: int,
+) -> np.ndarray:
+    """Train one bucket of jobs in lockstep; returns their delta matrix."""
+    bm = batch_model(model, len(jobs), reuse=True)
+    bm.set_flat_params(params)
+    loss = make_batched_loss(task, model)
+    xs, ys, mask = _stack_jobs(jobs)
+    group_idx = np.arange(len(jobs))[:, None]
+    full_batch = all(job.schedule is None for job in jobs)
+
+    for epoch in range(max(0, epochs)):
+        per_job = [_job_steps(job, epoch) for job in jobs]
+        n_steps = max(len(steps) for steps in per_job)
+        for step in range(n_steps):
+            if full_batch:
+                # All records of every job, no gather needed.
+                xb, yb, valid = xs, ys, mask
+            else:
+                batches = [
+                    steps[step] if step < len(steps) else np.zeros(0, dtype=np.int64)
+                    for steps in per_job
+                ]
+                b_max = max(len(b) for b in batches)
+                if b_max == 0:
+                    continue
+                idx = np.full((len(jobs), b_max), -1, dtype=np.int64)
+                for g, b in enumerate(batches):
+                    idx[g, : len(b)] = b
+                valid = idx >= 0
+                safe = np.where(valid, idx, 0)
+                xb = xs[group_idx, safe]
+                yb = ys[group_idx, safe]
+            bm.zero_grad()
+            pred = bm.forward(xb)
+            loss.forward(pred, yb, valid)
+            bm.backward(loss.backward())
+            for p, g in zip(bm.params, bm.grads):
+                p -= lr * g
+    return bm.get_flat_params() - params[None, :]
+
+
+def batched_local_deltas(
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs: list[LocalJob],
+    lr: float,
+    epochs: int,
+) -> np.ndarray:
+    """Per-job model deltas after local SGD, computed in batched runs.
+
+    Every job starts from the flat global ``params`` and trains for
+    ``epochs`` passes with learning rate ``lr`` on its own records; the
+    return value is the ``(len(jobs), P)`` matrix of deltas
+    ``local - global``, row-aligned with ``jobs``.  The per-row result
+    matches :meth:`repro.core.methods.base.FLMethod._local_delta` up to
+    floating-point reassociation.  Jobs are grouped into similar-size
+    buckets (see :func:`_size_buckets`) purely for speed.
+
+    Single-step shortcut: one full-batch epoch (the paper's ULDP-AVG
+    setting for figure benchmarks) never diverges the per-group parameters,
+    so the deltas are exactly one SGD step from the shared model --
+    computed via the much faster shared-weight gradient engine
+    (:func:`repro.nn.batched.per_group_gradients`).  On that path the
+    result is a pooled buffer: valid until the next engine call with the
+    same shape, so consume (or copy) it within the round.
+    """
+    if not jobs:
+        return np.zeros((0, params.size))
+    if epochs == 1 and all(job.schedule is None for job in jobs):
+        deltas = batched_gradients(model, task, params, jobs)
+        np.multiply(deltas, -lr, out=deltas)
+        return deltas
+    out = np.empty((len(jobs), params.size))
+    for indices in _size_buckets(jobs):
+        out[indices] = _train_bucket(
+            model, task, params, [jobs[i] for i in indices], lr, epochs
+        )
+    return out
+
+
+def batched_clipped_local_deltas(
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs: list[LocalJob],
+    lr: float,
+    epochs: int,
+    clip: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-job *clipped* local-training deltas plus their clip factors.
+
+    Returns ``(clipped, factors)`` where ``clipped[g]`` is job g's model
+    delta scaled to l2 norm at most ``clip`` and ``factors[g]`` the applied
+    ``min(1, clip / ||delta||)`` (0 for non-finite deltas, 1 for zero ones)
+    -- the Algorithm 3 line 16 quantities for a whole silo round at once.
+
+    On the single-step path the delta norms are ``lr`` times the gradient
+    norms, so clip-and-scale fuses into the engine's single assembly pass
+    over the result matrix; the general path clips the delta matrix in
+    place.  Either way the result matrix is pooled -- valid until the next
+    engine call of the same shape.
+    """
+    if clip <= 0:
+        raise ValueError("clip bound must be positive")
+    if not jobs:
+        return np.zeros((0, params.size)), np.zeros(0)
+    if epochs == 1 and all(job.schedule is None for job in jobs):
+        local = model.clone()
+        local.set_flat_params(params)
+        loss = make_loss(task, local)
+        x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
+        y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
+        factors = np.empty(len(jobs))
+
+        def clip_and_descend(grad_norms: np.ndarray) -> np.ndarray:
+            # The delta of one full-batch step has norm lr * ||gradient||.
+            f = clip_factor_from_norms(lr * grad_norms, clip)
+            factors[...] = f
+            return -lr * f
+
+        clipped = per_group_gradients(
+            local,
+            loss,
+            x,
+            y,
+            [job.n for job in jobs],
+            out=_pooled_matrix((len(jobs), params.size)),
+            row_scale=clip_and_descend,
+        )
+        return clipped, factors
+    deltas = batched_local_deltas(model, task, params, jobs, lr, epochs)
+    factors = clip_factor_rows(deltas, clip)
+    l2_clip_rows(deltas, clip, out=deltas, factors=factors)
+    return deltas, factors
+
+
+def batched_gradients(
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs: list[LocalJob],
+) -> np.ndarray:
+    """Per-job full-batch mean gradients at ``params``, in batched passes.
+
+    The ``(len(jobs), P)`` result matches
+    :meth:`repro.core.methods.base.FLMethod._gradient` row by row; jobs on
+    which the loss is undefined (degenerate Cox batches) yield zero rows,
+    the same convention as the loop path.
+
+    Because every job is evaluated at the *same* parameters, this runs
+    through the shared-weight engine: one unpadded forward/backward over
+    all records with per-group segmented parameter reductions.  The result
+    is a pooled buffer reused by the next engine call of the same shape --
+    consume (or copy) it within the round.
+    """
+    if not jobs:
+        return np.zeros((0, params.size))
+    local = model.clone()
+    local.set_flat_params(params)
+    loss = make_loss(task, local)
+    x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
+    y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
+    out = _pooled_matrix((len(jobs), params.size))
+    return per_group_gradients(local, loss, x, y, [job.n for job in jobs], out=out)

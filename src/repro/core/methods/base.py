@@ -11,6 +11,13 @@ The secure-aggregation step of the paper (server only sees the summed
 deltas) is simulated by summing plaintext deltas here; the cryptographic
 realisation lives in :mod:`repro.protocol` and is verified to produce the
 same sums (Theorem 4 tests).
+
+Every method carries an ``engine`` switch selecting its local-training
+implementation: ``"loop"`` runs the straightforward per-user Python loop
+(the differential-testing oracle), ``"vectorized"`` routes the same
+computation through the batched engine of :mod:`repro.core.engine`.  Both
+engines consume the shared RNG identically and agree on round aggregates
+to within floating-point reassociation.
 """
 
 from __future__ import annotations
@@ -19,6 +26,13 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.engine import (
+    LocalJob,
+    batched_gradients,
+    batched_local_deltas,
+    draw_minibatch_schedule,
+    validate_engine,
+)
 from repro.core.metrics import make_loss
 from repro.data.federated import FederatedDataset
 from repro.nn.model import Sequential
@@ -32,7 +46,8 @@ class FLMethod(ABC):
     #: Whether the method consumes privacy budget (False only for DEFAULT).
     is_private: bool = True
 
-    def __init__(self):
+    def __init__(self, engine: str = "vectorized"):
+        self.engine = validate_engine(engine)
         self.fed: FederatedDataset | None = None
         self.model: Sequential | None = None
         self.rng: np.random.Generator | None = None
@@ -100,6 +115,42 @@ class FLMethod(ABC):
             return np.zeros(local.num_params)
         local.backward(loss.backward())
         return local.get_flat_grads()
+
+    # -- vectorized-engine helpers ------------------------------------------
+
+    def _local_job(
+        self, x: np.ndarray, y: np.ndarray, local_epochs: int, batch_size: int | None
+    ) -> LocalJob:
+        """Package one local dataset for the batched engine.
+
+        Pre-draws the minibatch schedule from the shared RNG so the random
+        stream advances exactly as the loop engine's ``train_epochs`` would
+        (full-batch jobs draw nothing) -- the invariant that keeps the two
+        engines' noise draws identical.
+        """
+        _, _, rng = self._require_prepared()
+        schedule = draw_minibatch_schedule(len(x), batch_size, local_epochs, rng)
+        return LocalJob(x, y, schedule=schedule)
+
+    def _local_deltas_batched(
+        self,
+        params: np.ndarray,
+        jobs: list[LocalJob],
+        local_lr: float,
+        local_epochs: int,
+    ) -> np.ndarray:
+        """Stacked per-job model deltas via the vectorized engine ((G, P))."""
+        fed, model, _ = self._require_prepared()
+        return batched_local_deltas(
+            model, fed.task, params, jobs, local_lr, local_epochs
+        )
+
+    def _gradients_batched(
+        self, params: np.ndarray, jobs: list[LocalJob]
+    ) -> np.ndarray:
+        """Stacked per-job full-batch gradients via the vectorized engine."""
+        fed, model, _ = self._require_prepared()
+        return batched_gradients(model, fed.task, params, jobs)
 
     def _gaussian_noise(self, std: float, size: int) -> np.ndarray:
         _, _, rng = self._require_prepared()

@@ -24,8 +24,9 @@ class Default(FLMethod):
         local_lr: float = 0.05,
         local_epochs: int = 2,
         batch_size: int | None = 64,
+        engine: str = "vectorized",
     ):
-        super().__init__()
+        super().__init__(engine=engine)
         if global_lr <= 0 or local_lr <= 0:
             raise ValueError("learning rates must be positive")
         if local_epochs < 1:
@@ -37,16 +38,28 @@ class Default(FLMethod):
 
     def round(self, t: int, params: np.ndarray) -> np.ndarray:
         fed, _, _ = self._require_prepared()
-        deltas = []
-        for silo in fed.silos:
-            if silo.n_records == 0:
-                deltas.append(np.zeros_like(params))
-                continue
-            deltas.append(
-                self._local_delta(
-                    params, silo.x, silo.y, self.local_lr, self.local_epochs,
-                    self.batch_size,
-                )
+        if self.engine == "vectorized":
+            jobs = [
+                self._local_job(silo.x, silo.y, self.local_epochs, self.batch_size)
+                for silo in fed.silos
+                if silo.n_records > 0
+            ]
+            deltas = self._local_deltas_batched(
+                params, jobs, self.local_lr, self.local_epochs
             )
-        aggregate = np.mean(deltas, axis=0)
+            # Empty silos contribute zero deltas; the mean is over all silos.
+            aggregate = deltas.sum(axis=0) / fed.n_silos
+        else:
+            per_silo = []
+            for silo in fed.silos:
+                if silo.n_records == 0:
+                    per_silo.append(np.zeros_like(params))
+                    continue
+                per_silo.append(
+                    self._local_delta(
+                        params, silo.x, silo.y, self.local_lr, self.local_epochs,
+                        self.batch_size,
+                    )
+                )
+            aggregate = np.mean(per_silo, axis=0)
         return params + self.global_lr * aggregate

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.accounting import PrivacyAccountant
 from repro.core.clipping import clip_factor, l2_clip
+from repro.core.engine import batched_clipped_local_deltas
 from repro.core.methods.base import FLMethod
 from repro.core.weighting import (
     proportional_weights,
@@ -36,6 +37,23 @@ from repro.core.weighting import (
     uniform_weights,
     validate_weights,
 )
+
+
+class _RoundContributions(list):
+    """Per-silo contribution dicts plus their stacked backing matrix.
+
+    The vectorized engine produces all clipped deltas of a round as one
+    contiguous ``(K, P)`` matrix; the dict values are row views into it.
+    Carrying the matrix (with its ``(silo, user)`` row order) lets the
+    plaintext aggregation run as one matmul without re-stacking the rows,
+    while consumers of the list interface -- including
+    :class:`repro.protocol.SecureUldpAvg` -- see ordinary dicts.
+    """
+
+    def __init__(self, dicts, matrix: np.ndarray, pairs: list[tuple[int, int]]):
+        super().__init__(dicts)
+        self.matrix = matrix
+        self.pairs = pairs
 
 
 class UldpAvg(FLMethod):
@@ -54,8 +72,9 @@ class UldpAvg(FLMethod):
         user_sample_rate: float | None = None,
         batch_size: int | None = None,
         record_clip_stats: bool = False,
+        engine: str = "vectorized",
     ):
-        super().__init__()
+        super().__init__(engine=engine)
         if clip <= 0:
             raise ValueError("clip bound must be positive")
         if noise_multiplier < 0:
@@ -127,6 +146,10 @@ class UldpAvg(FLMethod):
         user id -> *unweighted* clipped delta (Algorithm 3 line 16 before
         the w multiplication) and ``noises[s]`` is silo s's noise vector.
         Users with zero round weight are skipped (they cannot contribute).
+
+        With ``engine="vectorized"`` each silo's per-user deltas come out
+        of one batched training run instead of a Python loop; both engines
+        draw the same random stream and agree to floating-point precision.
         """
         fed, _, _ = self._require_prepared()
         # Per-silo noise std sqrt(sigma^2 C^2 / |S|): summing |S| silo
@@ -135,6 +158,28 @@ class UldpAvg(FLMethod):
         noise_std = self.noise_multiplier * self.clip / np.sqrt(fed.n_silos)
         factors = np.full((fed.n_silos, fed.n_users), np.nan)
 
+        if self.engine == "vectorized":
+            contributions, noises = self._contributions_vectorized(
+                params, round_weights, noise_std, factors
+            )
+        else:
+            contributions, noises = self._contributions_loop(
+                params, round_weights, noise_std, factors
+            )
+
+        if self.record_clip_stats:
+            self.clip_factor_history.append(factors)
+        return contributions, noises
+
+    def _contributions_loop(
+        self,
+        params: np.ndarray,
+        round_weights: np.ndarray,
+        noise_std: float,
+        factors: np.ndarray,
+    ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
+        """Per-user deltas one training run at a time (the legacy oracle)."""
+        fed, _, _ = self._require_prepared()
         contributions: list[dict[int, np.ndarray]] = []
         noises: list[np.ndarray] = []
         for s, silo in enumerate(fed.silos):
@@ -151,10 +196,47 @@ class UldpAvg(FLMethod):
                 per_user[int(user)] = l2_clip(delta, self.clip)
             contributions.append(per_user)
             noises.append(self._gaussian_noise(noise_std, params.size))
-
-        if self.record_clip_stats:
-            self.clip_factor_history.append(factors)
         return contributions, noises
+
+    def _contributions_vectorized(
+        self,
+        params: np.ndarray,
+        round_weights: np.ndarray,
+        noise_std: float,
+        factors: np.ndarray,
+    ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
+        """All (silo, user) deltas of the round in one batched engine call.
+
+        Jobs and noise are *drawn* in the loop path's order (per silo:
+        schedules, then noise) so both engines consume the shared RNG
+        identically; the deferred batched training itself draws nothing.
+        """
+        fed, model, _ = self._require_prepared()
+        jobs, spans = [], []
+        noises: list[np.ndarray] = []
+        for s, silo in enumerate(fed.silos):
+            users = [int(u) for u in silo.users_present() if round_weights[s, u] != 0.0]
+            for user in users:
+                x, y = silo.records_of_user(user)
+                jobs.append(self._local_job(x, y, self.local_epochs, self.batch_size))
+            spans.append(users)
+            noises.append(self._gaussian_noise(noise_std, params.size))
+
+        clipped, all_factors = batched_clipped_local_deltas(
+            model, fed.task, params, jobs,
+            self.local_lr, self.local_epochs, self.clip,
+        )
+
+        dicts: list[dict[int, np.ndarray]] = []
+        pairs: list[tuple[int, int]] = []
+        row = 0
+        for s, users in enumerate(spans):
+            if self.record_clip_stats and users:
+                factors[s, users] = all_factors[row : row + len(users)]
+            dicts.append({user: clipped[row + i] for i, user in enumerate(users)})
+            pairs.extend((s, user) for user in users)
+            row += len(users)
+        return _RoundContributions(dicts, clipped, pairs), noises
 
     def _aggregate(
         self,
@@ -165,17 +247,31 @@ class UldpAvg(FLMethod):
     ) -> np.ndarray:
         """Plaintext aggregation: sum_s (sum_u w[s,u] * delta_su + z_s).
 
-        This simulates secure aggregation (the server only ever consumes the
-        final sum).  :class:`repro.protocol.SecureUldpAvg` overrides this
-        with the real cryptographic Protocol 1 and is tested to produce the
-        same result within fixed-point precision (Theorem 4).
+        Computed as a single weighted matmul over the stacked contribution
+        matrix (plus the summed noise) rather than a per-user accumulation
+        loop; when the vectorized engine already produced the rows as one
+        contiguous matrix (:class:`_RoundContributions`), that matrix is
+        used directly without re-stacking.  This simulates secure
+        aggregation (the server only ever consumes the final sum).
+        :class:`repro.protocol.SecureUldpAvg` overrides this with the real
+        cryptographic Protocol 1 and is tested to produce the same result
+        within fixed-point precision (Theorem 4).
         """
-        size = noises[0].size
-        aggregate = np.zeros(size)
+        aggregate = np.sum(noises, axis=0)
+        matrix = getattr(contributions, "matrix", None)
+        if matrix is not None:
+            pairs = contributions.pairs
+            if pairs:
+                weights = np.array([round_weights[s, u] for s, u in pairs])
+                aggregate = aggregate + weights @ matrix
+            return aggregate
+        # Loop-engine fallback: one weighted matmul per silo, bounding the
+        # transient stack at the largest silo's contribution matrix.
         for s, per_user in enumerate(contributions):
-            for user, clipped in per_user.items():
-                aggregate += round_weights[s, user] * clipped
-            aggregate += noises[s]
+            if not per_user:
+                continue
+            weights = np.array([round_weights[s, user] for user in per_user])
+            aggregate = aggregate + weights @ np.stack(list(per_user.values()))
         return aggregate
 
     def epsilon(self, delta: float) -> float:

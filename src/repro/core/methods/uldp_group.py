@@ -96,8 +96,9 @@ class UldpGroup(FLMethod):
         local_steps: int = 2,
         expected_batch_size: int = 64,
         group_route: str = "rdp",
+        engine: str = "vectorized",
     ):
-        super().__init__()
+        super().__init__(engine=engine)
         if clip <= 0:
             raise ValueError("clip bound must be positive")
         if local_steps < 1:
@@ -158,6 +159,7 @@ class UldpGroup(FLMethod):
                 sample_rate=self.sample_rates[s],
                 rng=rng,
                 microbatch_size=microbatch,
+                engine=self.engine,
             )
             deltas.append(local.get_flat_params() - params)
             self.silo_accountants[s].step(

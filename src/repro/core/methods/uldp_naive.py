@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accounting import PrivacyAccountant
-from repro.core.clipping import l2_clip
+from repro.core.clipping import l2_clip, l2_clip_rows
 from repro.core.methods.base import FLMethod
 
 
@@ -35,8 +35,9 @@ class UldpNaive(FLMethod):
         local_lr: float = 0.05,
         local_epochs: int = 2,
         batch_size: int | None = 64,
+        engine: str = "vectorized",
     ):
-        super().__init__()
+        super().__init__(engine=engine)
         if clip <= 0:
             raise ValueError("clip bound must be positive")
         if noise_multiplier < 0:
@@ -57,15 +58,35 @@ class UldpNaive(FLMethod):
         # user-level sensitivity C * |S| at noise multiplier sigma.
         noise_std = self.noise_multiplier * self.clip * np.sqrt(n_silos)
 
-        aggregate = np.zeros_like(params)
-        for silo in fed.silos:
-            if silo.n_records > 0:
-                delta = self._local_delta(
-                    params, silo.x, silo.y, self.local_lr, self.local_epochs,
-                    self.batch_size,
-                )
-                aggregate += l2_clip(delta, self.clip)
-            aggregate += self._gaussian_noise(noise_std, params.size)
+        if self.engine == "vectorized":
+            # Pre-draw each silo's minibatch schedule and noise in the same
+            # order the loop path consumes them, then train every silo in
+            # one batched run.
+            jobs, noises = [], []
+            for silo in fed.silos:
+                if silo.n_records > 0:
+                    jobs.append(
+                        self._local_job(
+                            silo.x, silo.y, self.local_epochs, self.batch_size
+                        )
+                    )
+                noises.append(self._gaussian_noise(noise_std, params.size))
+            deltas = self._local_deltas_batched(
+                params, jobs, self.local_lr, self.local_epochs
+            )
+            aggregate = l2_clip_rows(deltas, self.clip).sum(axis=0)
+            if noises:
+                aggregate = aggregate + np.sum(noises, axis=0)
+        else:
+            aggregate = np.zeros_like(params)
+            for silo in fed.silos:
+                if silo.n_records > 0:
+                    delta = self._local_delta(
+                        params, silo.x, silo.y, self.local_lr, self.local_epochs,
+                        self.batch_size,
+                    )
+                    aggregate += l2_clip(delta, self.clip)
+                aggregate += self._gaussian_noise(noise_std, params.size)
 
         self.accountant.step(self.noise_multiplier)
         return params + self.global_lr * aggregate / n_silos

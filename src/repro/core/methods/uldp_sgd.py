@@ -14,7 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accounting import PrivacyAccountant
-from repro.core.clipping import l2_clip
+from repro.core.clipping import l2_clip, l2_clip_rows
+from repro.core.engine import LocalJob
 from repro.core.methods.base import FLMethod
 from repro.core.weighting import (
     proportional_weights,
@@ -36,8 +37,9 @@ class UldpSgd(FLMethod):
         global_lr: float | None = None,
         weighting: str = "uniform",
         user_sample_rate: float | None = None,
+        engine: str = "vectorized",
     ):
-        super().__init__()
+        super().__init__(engine=engine)
         if clip <= 0:
             raise ValueError("clip bound must be positive")
         if noise_multiplier < 0:
@@ -83,17 +85,37 @@ class UldpSgd(FLMethod):
 
         noise_std = self.noise_multiplier * self.clip / np.sqrt(fed.n_silos)
         aggregate = np.zeros_like(params)
-        for s, silo in enumerate(fed.silos):
-            for user in silo.users_present():
-                w = round_weights[s, user]
-                if w == 0.0:
-                    continue
-                x, y = silo.records_of_user(int(user))
-                grad = self._gradient(params, x, y)
+        if self.engine == "vectorized":
+            # One batched gradient pass over every (silo, user) pair; the
+            # gradient computation draws no randomness, so noise draws stay
+            # in the loop path's per-silo order.
+            jobs, weights = [], []
+            for s, silo in enumerate(fed.silos):
+                for user in silo.users_present():
+                    w = round_weights[s, user]
+                    if w == 0.0:
+                        continue
+                    jobs.append(LocalJob(*silo.records_of_user(int(user))))
+                    weights.append(w)
+            if jobs:
+                grads = self._gradients_batched(params, jobs)
                 # Negated: the shared server update adds the aggregate, so
                 # clients ship descent directions.
-                aggregate += w * l2_clip(-grad, self.clip)
-            aggregate += self._gaussian_noise(noise_std, params.size)
+                np.negative(grads, out=grads)
+                clipped = l2_clip_rows(grads, self.clip, out=grads)
+                aggregate = aggregate + np.asarray(weights) @ clipped
+            for _ in fed.silos:
+                aggregate += self._gaussian_noise(noise_std, params.size)
+        else:
+            for s, silo in enumerate(fed.silos):
+                for user in silo.users_present():
+                    w = round_weights[s, user]
+                    if w == 0.0:
+                        continue
+                    x, y = silo.records_of_user(int(user))
+                    grad = self._gradient(params, x, y)
+                    aggregate += w * l2_clip(-grad, self.clip)
+                aggregate += self._gaussian_noise(noise_std, params.size)
 
         self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
         scale = fed.n_users * fed.n_silos * (q if q is not None else 1.0)

@@ -9,6 +9,7 @@ queries the method's privacy accountant -- producing exactly the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +56,14 @@ class TrainingHistory:
     method: str
     dataset: str
     records: list[RoundRecord] = field(default_factory=list)
+    #: Wall-clock seconds spent in each ``method.round`` call (all rounds,
+    #: evaluated or not) -- the engine benchmarks read this.
+    round_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_round_seconds(self) -> float:
+        """Total wall-clock time spent inside ``method.round`` calls."""
+        return float(sum(self.round_seconds))
 
     @property
     def final(self) -> RoundRecord:
@@ -111,7 +120,9 @@ class Trainer:
         history = TrainingHistory(method=label, dataset=self.fed.name)
         params = self.model.get_flat_params()
         for t in range(self.rounds):
+            start = time.perf_counter()
             params = self.method.round(t, params)
+            history.round_seconds.append(time.perf_counter() - start)
             if (t + 1) % self.eval_every == 0 or t == self.rounds - 1:
                 self.model.set_flat_params(params)
                 scores = evaluate_model(self.fed, self.model)

@@ -14,15 +14,49 @@ replaces exactly the slice of functionality Uldp-FL needs:
 - :mod:`repro.nn.dpsgd` -- DP-SGD (per-sample clipping + Gaussian noise +
   Poisson sampling), the local subroutine of ULDP-GROUP-k.
 
+Batched leading-axis support: ``Batched*`` layers and losses plus
+:class:`repro.nn.model.BatchedSequential` train many independent model
+copies in one forward/backward pass -- the substrate of the vectorized
+multi-user engine (:mod:`repro.core.engine`).
+
 All randomness flows through explicit ``numpy.random.Generator`` instances
 so every experiment is reproducible from a seed.
 """
 
-from repro.nn.clip import clip_factor, l2_clip
-from repro.nn.layers import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Tanh
-from repro.nn.losses import BCEWithLogitsLoss, CoxPHLoss, Loss, SoftmaxCrossEntropyLoss
+from repro.nn.clip import (
+    clip_factor,
+    clip_factor_from_norms,
+    clip_factor_rows,
+    l2_clip,
+    l2_clip_rows,
+)
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchedConv2d,
+    BatchedFlatten,
+    BatchedLinear,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from repro.nn.losses import (
+    BatchedBCEWithLogitsLoss,
+    BatchedCoxPHLoss,
+    BatchedLoss,
+    BatchedSoftmaxCrossEntropyLoss,
+    BCEWithLogitsLoss,
+    CoxPHLoss,
+    Loss,
+    SoftmaxCrossEntropyLoss,
+    batched_counterpart,
+)
 from repro.nn.model import (
+    BatchedSequential,
     Sequential,
+    batch_model,
     build_cox_linear,
     build_creditcard_mlp,
     build_logistic,
@@ -35,19 +69,32 @@ from repro.nn.dpsgd import dpsgd_train
 
 __all__ = [
     "clip_factor",
+    "clip_factor_from_norms",
+    "clip_factor_rows",
     "l2_clip",
+    "l2_clip_rows",
     "AvgPool2d",
+    "BatchedConv2d",
+    "BatchedFlatten",
+    "BatchedLinear",
     "Conv2d",
     "Flatten",
     "Linear",
     "MaxPool2d",
     "ReLU",
     "Tanh",
+    "BatchedBCEWithLogitsLoss",
+    "BatchedCoxPHLoss",
+    "BatchedLoss",
+    "BatchedSoftmaxCrossEntropyLoss",
     "BCEWithLogitsLoss",
     "CoxPHLoss",
     "Loss",
     "SoftmaxCrossEntropyLoss",
+    "batched_counterpart",
+    "BatchedSequential",
     "Sequential",
+    "batch_model",
     "build_cox_linear",
     "build_creditcard_mlp",
     "build_logistic",

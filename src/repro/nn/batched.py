@@ -1,0 +1,485 @@
+"""Shared-weight per-group gradient engine.
+
+Several hot paths need *per-group* gradients of one shared model: the
+per-user gradients of ULDP-SGD, the per-microbatch gradients of DP-SGD,
+and the first (often only) local step of ULDP-AVG -- in every case the
+parameters are identical across groups because no group has taken a
+divergent step yet.  That structure admits a much faster evaluation than
+the general per-group-parameters engine (:class:`repro.nn.model.BatchedSequential`):
+
+1. concatenate all groups' records into one flat batch (no padding) and
+   run a single forward pass;
+2. compute each group's mean-loss gradient w.r.t. its predictions with the
+   ``Batched*`` losses (padding only the scalar-sized prediction tensors);
+3. walk the layers backward once, sharing the input-gradient computation
+   (the weights are identical) and segmenting only the parameter-gradient
+   reductions by group.
+
+Convolutional stacks additionally run in a channels-last (NHWC) layout
+internally: patch matrices come out of im2col directly in GEMM order, the
+flattened ``(B*P, out_c)`` activation gradients need no transposes, and the
+pooling windows slice contiguous channel runs.  Results are converted back
+to the template's NCHW parameter layout during assembly, so callers see
+the standard flat-parameter order throughout.
+
+The result matches running the model separately per group up to
+floating-point reassociation (the differential tests in
+``tests/core/test_engine_equivalence.py`` cover this path through the FL
+methods).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+    _col2im,
+)
+from repro.nn.losses import Loss, batched_counterpart
+from repro.nn.model import Sequential
+
+
+def _scatter_padded(
+    values: np.ndarray, flat_idx: np.ndarray, groups: int, n_max: int
+) -> np.ndarray:
+    """Scatter per-record rows into a zero-padded (G, n_max, ...) tensor."""
+    padded = np.zeros((groups * n_max, *values.shape[1:]))
+    padded[flat_idx] = values
+    return padded.reshape(groups, n_max, *values.shape[1:])
+
+
+def _segment_sum(values: np.ndarray, starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Sum contiguous row segments: out[g] = values[starts[g] : starts[g]+sizes[g]].sum(0).
+
+    A plain slice loop: an order of magnitude faster than ``np.add.reduceat``
+    on wide matrices, and the segments are contiguous by construction.
+    """
+    values = values.reshape(len(values), -1)
+    out = np.empty((len(starts), values.shape[1]))
+    for g in range(len(starts)):
+        start = starts[g]
+        np.sum(values[start : start + sizes[g]], axis=0, out=out[g])
+    return out
+
+
+def _segment_gemm(
+    a: np.ndarray, b: np.ndarray, starts: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Per-segment GEMMs: out[g] = a[rows_g].T @ b[rows_g] over contiguous rows."""
+    out = np.empty((len(starts), a.shape[1], b.shape[1]))
+    for g in range(len(starts)):
+        start = starts[g]
+        stop = start + sizes[g]
+        np.matmul(a[start:stop].T, b[start:stop], out=out[g])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# NHWC image-stack kernels (used only inside the shared-weight walk).
+# ---------------------------------------------------------------------------
+
+
+def _im2col_nhwc(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold (N, H, W, C) into (N*P, kh*kw*C) patches with one gather."""
+    n, h, w, c = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+    s = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, kh, kw, c),
+        strides=(s[0], s[1] * stride, s[2] * stride, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    cols = np.ascontiguousarray(view).reshape(n * out_h * out_w, kh * kw * c)
+    return cols, out_h, out_w
+
+
+def _col2im_nhwc(
+    dcols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col_nhwc`; ``dcols`` is (N, oh, ow, kh, kw, C)."""
+    n, h, w, c = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    padded = np.zeros((n, h + 2 * pad, w + 2 * pad, c))
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :, i : i + stride * out_h : stride, j : j + stride * out_w : stride, :
+            ] += dcols[:, :, :, i, j, :]
+    if pad:
+        return padded[:, pad:-pad, pad:-pad, :]
+    return padded
+
+
+def _maxpool_nhwc_forward(x: np.ndarray, size: int) -> np.ndarray:
+    n, h, w, c = x.shape
+    s = size
+    oh, ow = h // s, w // s
+    out = x[:, 0 : oh * s : s, 0 : ow * s : s, :].copy()
+    for i in range(s):
+        for j in range(s):
+            if i or j:
+                np.maximum(out, x[:, i : oh * s : s, j : ow * s : s, :], out=out)
+    return out
+
+
+def _maxpool_nhwc_backward(
+    x: np.ndarray, out: np.ndarray, grad: np.ndarray, size: int
+) -> np.ndarray:
+    n, h, w, c = x.shape
+    s = size
+    oh, ow = out.shape[1], out.shape[2]
+    masks = [
+        [x[:, i : oh * s : s, j : ow * s : s, :] == out for j in range(s)]
+        for i in range(s)
+    ]
+    counts = np.zeros_like(out)
+    for row in masks:
+        for mask in row:
+            counts += mask
+    scaled = grad / counts
+    dx = np.zeros(x.shape)
+    for i in range(s):
+        for j in range(s):
+            dx[:, i : oh * s : s, j : ow * s : s, :] = masks[i][j] * scaled
+    return dx
+
+
+def _conv_stack(model: Sequential):
+    """Split a CNN into (image stages, flatten position, dense stages).
+
+    Returns ``None`` when the model does not match the supported
+    ``image-stages -> Flatten -> dense-stages`` shape (the generic walk
+    handles those).
+    """
+    layers = model.layers
+    flatten_at = None
+    for i, layer in enumerate(layers):
+        if isinstance(layer, Flatten):
+            flatten_at = i
+            break
+    if flatten_at is None:
+        return None
+    image, dense = layers[:flatten_at], layers[flatten_at + 1 :]
+    if not any(isinstance(l, Conv2d) for l in image):
+        return None
+    for layer in image:
+        if not isinstance(layer, (Conv2d, MaxPool2d, AvgPool2d, ReLU, Tanh)):
+            return None
+    for layer in dense:
+        if not isinstance(layer, (Linear, ReLU, Tanh)):
+            return None
+    return image, flatten_at, dense
+
+
+def per_group_gradients(
+    model: Sequential,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    sizes,
+    out: np.ndarray | None = None,
+    row_scale=None,
+    norms_out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-group gradients of the mean loss, sharing one forward/backward.
+
+    Args:
+        model: the shared model, already holding the evaluation parameters.
+            Its layer caches may be clobbered (like any ``forward`` call).
+        loss: a per-batch loss instance; its batched counterpart supplies
+            the per-group prediction gradients (degenerate groups -- e.g.
+            Cox batches without events -- contribute zero rows, matching
+            the loop convention).
+        x, y: all groups' records, concatenated in group order.
+        sizes: per-group record counts (all >= 1, summing to ``len(x)``).
+        out: optional preallocated ``(len(sizes), P)`` result buffer
+            (reusing one across rounds avoids re-faulting large matrices).
+        row_scale: optional callable mapping the ``(G,)`` gradient l2 norms
+            to per-row multipliers applied *during* assembly.  This fuses
+            clip-and-scale into the single write pass over the result
+            matrix -- the ULDP hot path (clip to C, scale by -lr) -- instead
+            of re-reading the large matrix afterwards.  Rows whose
+            multiplier is 0 are written as exact zeros (the non-finite /
+            fully-clipped convention).
+        norms_out: optional ``(G,)`` buffer receiving the gradient l2 norms
+            (computed from cache-warm per-layer blocks, no extra pass).
+
+    Returns:
+        ``(len(sizes), P)`` matrix whose row g equals the flat gradient of
+        group g's mean loss at the shared parameters, scaled row-wise by
+        ``row_scale`` when given.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size == 0:
+        return np.zeros((0, model.num_params))
+    if np.any(sizes < 1):
+        raise ValueError("every group needs at least one record")
+    groups = len(sizes)
+    total = int(sizes.sum())
+    if total != len(x):
+        raise ValueError("sizes must sum to the number of records")
+    starts = np.zeros(groups, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    n_max = int(sizes.max())
+    group_of = np.repeat(np.arange(groups), sizes)
+    flat_idx = np.arange(total) - starts[group_of] + group_of * n_max
+
+    ctx = _GroupContext(groups, n_max, starts, sizes, flat_idx)
+    stack = _conv_stack(model)
+    if stack is not None:
+        pred, backward = _forward_conv_nhwc(model, stack, np.asarray(x, dtype=np.float64), ctx)
+    else:
+        pred, backward = _forward_generic(model, np.asarray(x, dtype=np.float64), ctx)
+
+    y_arr = np.asarray(y, dtype=np.float64)
+    mask = np.zeros(groups * n_max, dtype=bool)
+    mask[flat_idx] = True
+    batched_loss = batched_counterpart(loss)
+    batched_loss.forward(
+        _scatter_padded(pred, flat_idx, groups, n_max),
+        _scatter_padded(y_arr, flat_idx, groups, n_max),
+        mask.reshape(groups, n_max),
+    )
+    dpred = batched_loss.backward().reshape(groups * n_max, *pred.shape[1:])[flat_idx]
+
+    blocks = backward(dpred)
+
+    if out is None:
+        out = np.empty((groups, model.num_params))
+    elif out.shape != (groups, model.num_params):
+        raise ValueError("out buffer has the wrong shape")
+
+    scale = None
+    if row_scale is not None or norms_out is not None:
+        sq = np.zeros(groups)
+        for index in blocks:
+            for block in blocks[index]:
+                sq += np.einsum("gk,gk->g", block, block)
+        norms = np.sqrt(sq)
+        if norms_out is not None:
+            norms_out[...] = norms
+        if row_scale is not None:
+            scale = np.asarray(row_scale(norms), dtype=np.float64)
+
+    offset = 0
+    for index, layer in enumerate(model.layers):
+        for block in blocks.get(index, ()):
+            view = out[:, offset : offset + block.shape[1]]
+            if scale is None:
+                view[...] = block
+            else:
+                np.multiply(block, scale[:, None], out=view)
+            offset += block.shape[1]
+    if scale is not None:
+        dropped = scale == 0.0
+        if np.any(dropped):
+            # 0 * inf leaves NaNs behind; dropped rows are exact zeros.
+            out[dropped] = 0.0
+    return out
+
+
+class _GroupContext:
+    """Shared per-call indexing: group boundaries and padding scatter."""
+
+    def __init__(self, groups, n_max, starts, sizes, flat_idx):
+        self.groups = groups
+        self.n_max = n_max
+        self.starts = starts
+        self.sizes = sizes
+        self.flat_idx = flat_idx
+
+
+def _linear_blocks(layer: Linear, x_in, grad, ctx: _GroupContext):
+    """Per-group (dW, db) of one dense layer from its input and output grads.
+
+    Records are concatenated in group order, so both reductions run over
+    contiguous row segments -- no padding or scatter needed.
+    """
+    d_weight = _segment_gemm(x_in, grad, ctx.starts, ctx.sizes)  # (G, in, out)
+    d_bias = _segment_sum(grad, ctx.starts, ctx.sizes)
+    return [d_weight.reshape(ctx.groups, -1), d_bias]
+
+
+def _forward_generic(model: Sequential, x: np.ndarray, ctx: _GroupContext):
+    """Standard-layout walk (dense models and unrecognised structures)."""
+    pred = model.forward(x)
+
+    def backward(grad: np.ndarray) -> dict[int, list[np.ndarray]]:
+        blocks: dict[int, list[np.ndarray]] = {}
+        for index in range(len(model.layers) - 1, -1, -1):
+            layer = model.layers[index]
+            if isinstance(layer, Linear):
+                if layer._x is None:
+                    raise RuntimeError("backward walk before forward")
+                blocks[index] = _linear_blocks(layer, layer._x, grad, ctx)
+                if index > 0:
+                    grad = grad @ layer.weight.T
+            elif isinstance(layer, Conv2d):
+                if layer._cache is None:
+                    raise RuntimeError("backward walk before forward")
+                x_shape, cols = layer._cache  # cols: (B, C*k*k, P)
+                out_c = layer.weight.shape[0]
+                go = grad.reshape(grad.shape[0], out_c, -1)  # (B, out_c, P)
+                dw_samples = go @ cols.transpose(0, 2, 1)  # (B, out_c, C*k*k)
+                blocks[index] = [
+                    _segment_sum(dw_samples, ctx.starts, ctx.sizes),
+                    _segment_sum(go.sum(axis=2), ctx.starts, ctx.sizes),
+                ]
+                if index > 0:
+                    w_row = layer.weight.reshape(out_c, -1)
+                    dcols = np.matmul(w_row.T[None], go)  # (B, C*k*k, P)
+                    k = layer.kernel_size
+                    grad = _col2im(dcols, x_shape, k, k, layer.stride, layer.padding)
+            elif layer.params:
+                raise TypeError(
+                    f"no shared-weight gradient rule for {type(layer).__name__}"
+                )
+            else:
+                if index > 0:
+                    grad = layer.backward(grad)
+        return blocks
+
+    return pred, backward
+
+
+def _forward_conv_nhwc(model: Sequential, stack, x: np.ndarray, ctx: _GroupContext):
+    """Channels-last walk for ``image-stages -> Flatten -> dense`` models."""
+    image, flatten_at, dense = stack
+    b = len(x)
+    act = np.ascontiguousarray(x.transpose(0, 2, 3, 1))  # NCHW -> NHWC
+    caches: list[tuple] = []
+    for layer in image:
+        if isinstance(layer, Conv2d):
+            k = layer.kernel_size
+            in_shape = act.shape
+            cols, oh, ow = _im2col_nhwc(act, k, k, layer.stride, layer.padding)
+            out_c, in_c = layer.weight.shape[:2]
+            # Template (out_c, C, kh, kw) -> NHWC patch order (kh, kw, C).
+            w_nhwc = np.ascontiguousarray(
+                layer.weight.transpose(2, 3, 1, 0)
+            ).reshape(-1, out_c)
+            z = cols @ w_nhwc  # one GEMM: (B*P, out_c)
+            z += layer.bias[None, :]
+            act = z.reshape(b, oh, ow, out_c)
+            caches.append(("conv", layer, in_shape, cols, w_nhwc, oh, ow))
+        elif isinstance(layer, MaxPool2d):
+            pooled = _maxpool_nhwc_forward(act, layer.size)
+            caches.append(("maxpool", layer, act, pooled))
+            act = pooled
+        elif isinstance(layer, AvgPool2d):
+            s = layer.size
+            n, h, w, c = act.shape
+            oh, ow = h // s, w // s
+            acc = act[:, 0 : oh * s : s, 0 : ow * s : s, :].copy()
+            for i in range(s):
+                for j in range(s):
+                    if i or j:
+                        acc += act[:, i : oh * s : s, j : ow * s : s, :]
+            caches.append(("avgpool", layer, act.shape))
+            act = acc / (s * s)
+        elif isinstance(layer, ReLU):
+            act = np.maximum(act, 0.0)
+            caches.append(("relu", layer, act))
+        else:  # Tanh
+            act = np.tanh(act)
+            caches.append(("tanh", layer, act))
+    image_out_shape = act.shape  # (B, H, W, C)
+    h, w, c = image_out_shape[1:]
+    # NHWC flatten order (h, w, c) -> template NCHW feature index c*H*W + h*W + w.
+    # Permuting the (small) flat activations once keeps the whole dense
+    # section -- weights and weight gradients -- in the template basis.
+    perm = np.arange(c * h * w).reshape(c, h, w).transpose(1, 2, 0).ravel()
+    flat = np.empty((b, c * h * w))
+    flat[:, perm] = act.reshape(b, -1)
+    act = flat
+
+    dense_caches: list[tuple] = []
+    for layer in dense:
+        if isinstance(layer, Linear):
+            dense_caches.append(("linear", layer, act))
+            act = act @ layer.weight + layer.bias
+        elif isinstance(layer, ReLU):
+            act = np.maximum(act, 0.0)
+            dense_caches.append(("relu", layer, act))
+        else:  # Tanh
+            act = np.tanh(act)
+            dense_caches.append(("tanh", layer, act))
+    pred = act
+
+    def backward(grad: np.ndarray) -> dict[int, list[np.ndarray]]:
+        blocks: dict[int, list[np.ndarray]] = {}
+        g = grad
+        for offset in range(len(dense) - 1, -1, -1):
+            kind, layer, *cache = dense_caches[offset]
+            index = flatten_at + 1 + offset
+            if kind == "linear":
+                blocks[index] = _linear_blocks(layer, cache[0], g, ctx)
+                g = g @ layer.weight.T
+            elif kind == "relu":
+                g = g * (cache[0] > 0)
+            else:
+                g = g * (1.0 - cache[0] ** 2)
+        g = g[:, perm].reshape(image_out_shape)
+        for pos in range(len(image) - 1, -1, -1):
+            kind, layer, *cache = caches[pos]
+            if kind == "conv":
+                in_shape, cols, w_nhwc, oh, ow = cache
+                out_c = layer.weight.shape[0]
+                go_flat = g.reshape(-1, out_c)  # (B*P, out_c), already contiguous
+                row_starts = ctx.starts * oh * ow
+                row_sizes = ctx.sizes * oh * ow
+                dw = _segment_gemm(cols, go_flat, row_starts, row_sizes)
+                k = layer.kernel_size
+                in_c = layer.weight.shape[1]
+                # NHWC patch basis (kh, kw, C, out_c) -> template (out_c, C, kh, kw).
+                dw = np.ascontiguousarray(
+                    dw.reshape(ctx.groups, k, k, in_c, out_c).transpose(0, 4, 3, 1, 2)
+                ).reshape(ctx.groups, -1)
+                db = _segment_sum(go_flat, row_starts, row_sizes)
+                blocks[pos] = [dw, db]
+                if pos > 0:
+                    dcols = go_flat @ w_nhwc.T  # one GEMM: (B*P, F)
+                    g = _col2im_nhwc(
+                        dcols.reshape(b, oh, ow, k, k, in_c),
+                        in_shape, k, k, layer.stride, layer.padding,
+                    )
+            elif kind == "maxpool":
+                x_in, pooled = cache
+                g = _maxpool_nhwc_backward(x_in, pooled, g, layer.size)
+            elif kind == "avgpool":
+                (in_shape,) = cache
+                s = layer.size
+                n, h_, w_, c_ = in_shape
+                oh, ow = h_ // s, w_ // s
+                dx = np.zeros(in_shape)
+                spread = g / (s * s)
+                for i in range(s):
+                    for j in range(s):
+                        dx[:, i : oh * s : s, j : ow * s : s, :] = spread
+                g = dx
+            elif kind == "relu":
+                g = g * (cache[0] > 0)
+            else:
+                g = g * (1.0 - cache[0] ** 2)
+        return blocks
+
+    return pred, backward

@@ -46,3 +46,67 @@ def clip_factor(vector: np.ndarray, clip: float) -> float:
     if norm == 0.0:
         return 1.0
     return min(1.0, clip / norm)
+
+
+def clip_factor_from_norms(norms: np.ndarray, clip: float) -> np.ndarray:
+    """Vector of ``min(1, clip / norm)`` factors from precomputed l2 norms.
+
+    The single home of the edge-case conventions shared by every row-wise
+    clipping path: zero norms map to factor 1 and non-finite norms to
+    factor 0, matching the scalar :func:`clip_factor`.
+    """
+    if clip <= 0:
+        raise ValueError("clip bound must be positive")
+    norms = np.asarray(norms, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = np.where(norms > 0, np.minimum(1.0, clip / norms), 1.0)
+    factors[~np.isfinite(norms)] = 0.0
+    return factors
+
+
+def clip_factor_rows(matrix: np.ndarray, clip: float) -> np.ndarray:
+    """Row-wise :func:`clip_factor` over a ``(G, P)`` matrix (vectorized).
+
+    Returns the ``(G,)`` vector of factors; rows with non-finite entries
+    report 0 and zero-norm rows report 1, matching the scalar function.
+    The matrix is read exactly once (a single squared-norm reduction) --
+    this sits on the round hot path for large delta matrices.
+    """
+    if clip <= 0:
+        raise ValueError("clip bound must be positive")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a (rows, features) matrix")
+    # A row with any NaN/inf entry yields a NaN/inf squared norm, exactly
+    # the rows the scalar function maps to factor 0.
+    norms = np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+    return clip_factor_from_norms(norms, clip)
+
+
+def l2_clip_rows(
+    matrix: np.ndarray,
+    clip: float,
+    out: np.ndarray | None = None,
+    factors: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`l2_clip` over a ``(G, P)`` matrix (vectorized).
+
+    Each row is scaled to l2 norm at most ``clip``; rows with non-finite
+    entries are zeroed (a diverged local update contributes nothing), the
+    same semantics as the scalar function applied per row.  ``out`` may
+    alias ``matrix`` to clip in place; ``factors`` may carry precomputed
+    :func:`clip_factor_rows` results to skip the norm pass.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if factors is None:
+        factors = clip_factor_rows(matrix, clip)
+    with np.errstate(invalid="ignore"):
+        if out is None:
+            out = matrix * factors[:, None]
+        else:
+            np.multiply(matrix, factors[:, None], out=out)
+    # Factor-0 rows are the non-finite ones; 0 * inf left NaNs behind.
+    dropped = factors == 0.0
+    if np.any(dropped):
+        out[dropped] = 0.0
+    return out

@@ -14,16 +14,19 @@ rate ``sample_rate`` per step (see :mod:`repro.accounting.subsampled`); the
 paper's Theorem 2 composes ``Q * T`` such steps, so the ULDP-GROUP client
 runs exactly ``local_epochs`` noisy steps per round.
 
-Per-sample gradients are computed by looping single-record forward/backward
-passes; models here are small (<= ~20K params), so this stays fast enough
-while remaining obviously correct.
+Per-sample gradients are computed either by looping single-record
+forward/backward passes (``engine="loop"``, obviously correct) or by one
+batched pass through a :class:`repro.nn.model.BatchedSequential` with one
+group per microbatch (``engine="vectorized"``, the same linear algebra
+reassociated -- see :mod:`repro.core.engine` for the equivalence contract).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.clip import l2_clip
+from repro.nn.batched import per_group_gradients
+from repro.nn.clip import l2_clip, l2_clip_rows
 from repro.nn.losses import DegenerateBatchError, Loss
 from repro.nn.model import Sequential
 
@@ -64,6 +67,34 @@ def per_sample_clipped_gradient_sum(
     return total
 
 
+def per_sample_clipped_gradient_sum_vectorized(
+    model: Sequential,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    clip: float,
+    microbatch_size: int = 1,
+) -> np.ndarray:
+    """Vectorized :func:`per_sample_clipped_gradient_sum`.
+
+    Every microbatch's gradient is taken at the *same* parameters, so all
+    of them come out of one shared-weight forward/backward
+    (:func:`repro.nn.batched.per_group_gradients`, one group per
+    microbatch); clipping is then row-wise and the sum a single reduction.
+    Degenerate microbatches contribute zero rows, matching the loop's skip.
+    """
+    if microbatch_size < 1:
+        raise ValueError("microbatch size must be at least 1")
+    n = x.shape[0]
+    if n == 0:
+        return np.zeros(model.num_params)
+    sizes = [
+        min(start + microbatch_size, n) - start for start in range(0, n, microbatch_size)
+    ]
+    grads = per_group_gradients(model, loss, x, y, sizes)
+    return l2_clip_rows(grads, clip).sum(axis=0)
+
+
 def dpsgd_step(
     model: Sequential,
     loss: Loss,
@@ -75,13 +106,25 @@ def dpsgd_step(
     sample_rate: float,
     rng: np.random.Generator,
     microbatch_size: int = 1,
+    engine: str = "loop",
 ) -> None:
-    """One Poisson-sampled, clipped, noised gradient step (in place)."""
+    """One Poisson-sampled, clipped, noised gradient step (in place).
+
+    ``engine="vectorized"`` computes the per-sample gradients in one
+    batched pass; the randomness (Poisson mask, noise) is drawn identically
+    either way, so both engines follow the same trajectory up to
+    floating-point reassociation.
+    """
     n = x.shape[0]
     mask = rng.random(n) < sample_rate
     expected_batch = max(sample_rate * n, 1e-12)
     if mask.any():
-        grad_sum = per_sample_clipped_gradient_sum(
+        grad_fn = (
+            per_sample_clipped_gradient_sum_vectorized
+            if engine == "vectorized"
+            else per_sample_clipped_gradient_sum
+        )
+        grad_sum = grad_fn(
             model, loss, x[mask], y[mask], clip, microbatch_size=microbatch_size
         )
     else:
@@ -103,6 +146,7 @@ def dpsgd_train(
     sample_rate: float,
     rng: np.random.Generator,
     microbatch_size: int = 1,
+    engine: str = "loop",
 ) -> None:
     """Run ``steps`` DP-SGD steps in place.
 
@@ -118,5 +162,5 @@ def dpsgd_train(
     for _ in range(max(0, steps)):
         dpsgd_step(
             model, loss, x, y, lr, clip, noise_multiplier, sample_rate, rng,
-            microbatch_size=microbatch_size,
+            microbatch_size=microbatch_size, engine=engine,
         )

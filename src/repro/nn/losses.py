@@ -9,6 +9,16 @@ paper reuses: predictions are linear risk scores, and the loss is the
 negative partial log-likelihood under the Breslow convention.  It needs at
 least one observed event and at least two records to be defined, which is
 why the paper requires >= 2 records per user/silo pair for this dataset.
+
+Batched counterparts (``Batched*Loss``) serve the vectorized multi-user
+engine: predictions carry a leading group axis and a boolean validity mask
+marks the padding introduced when users with different record counts are
+stacked into one tensor.  ``forward(pred, target, mask) -> (G,)`` returns
+the per-group mean loss; ``backward()`` returns the gradient of each
+group's *own* mean loss, zero at padded positions.  Groups on which the
+loss is undefined (the :class:`CoxPHLoss` degenerate cases) contribute a
+zero gradient instead of raising -- exactly matching the loop path, which
+skips the optimiser step for such users.
 """
 
 from __future__ import annotations
@@ -149,6 +159,153 @@ class CoxPHLoss(Loss):
         weights = np.where(event_idx, 1.0 / risk_sums, 0.0)
         grad += exp_eta * (risk.T @ weights)
         return (grad / n_events).reshape(shape)
+
+
+class BatchedLoss:
+    """Base class for group-batched losses with padding masks."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Per-group mean loss ``(G,)``; undefined groups report 0."""
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        """Gradient of each group's mean loss w.r.t. ``pred`` (same shape)."""
+        raise NotImplementedError
+
+
+class BatchedSoftmaxCrossEntropyLoss(BatchedLoss):
+    """Group-batched multi-class cross-entropy over ``(G, B, K)`` logits.
+
+    Targets are integer labels ``(G, B)``; ``mask`` is boolean ``(G, B)``.
+    Each group's loss and gradient match a standalone
+    :class:`SoftmaxCrossEntropyLoss` over that group's valid records.
+    """
+
+    def __init__(self):
+        self._cache: tuple | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        target = np.asarray(target, dtype=np.int64)
+        mask = np.asarray(mask, dtype=bool)
+        if pred.ndim != 3 or target.shape != pred.shape[:2] or mask.shape != pred.shape[:2]:
+            raise ValueError("pred must be (G, B, K) with (G, B) targets and mask")
+        shifted = pred - pred.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=2, keepdims=True)
+        counts = mask.sum(axis=1)
+        safe_target = np.where(mask, target, 0)
+        picked = np.take_along_axis(probs, safe_target[:, :, None], axis=2)[:, :, 0]
+        log_likelihood = np.log(picked + 1e-300) * mask
+        denom = np.maximum(counts, 1)
+        self._cache = (probs, safe_target, mask, denom)
+        return -log_likelihood.sum(axis=1) / denom
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, safe_target, mask, denom = self._cache
+        grad = probs.copy()
+        g, b = safe_target.shape
+        grad[np.arange(g)[:, None], np.arange(b)[None, :], safe_target] -= 1.0
+        return grad * (mask / denom[:, None])[:, :, None]
+
+
+class BatchedBCEWithLogitsLoss(BatchedLoss):
+    """Group-batched binary cross-entropy over ``(G, B)`` or ``(G, B, 1)`` logits."""
+
+    def __init__(self):
+        self._cache: tuple | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        shape = pred.shape
+        mask = np.asarray(mask, dtype=bool)
+        z = pred.reshape(pred.shape[0], -1).astype(np.float64)
+        y = np.asarray(target, dtype=np.float64).reshape(z.shape[0], -1)
+        if z.shape != y.shape or mask.shape != z.shape:
+            raise ValueError("pred, target, and mask sizes differ")
+        loss = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        denom = np.maximum(mask.sum(axis=1), 1)
+        self._cache = (shape, z, y, mask, denom)
+        return (loss * mask).sum(axis=1) / denom
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        shape, z, y, mask, denom = self._cache
+        sigmoid = 1.0 / (1.0 + np.exp(-z))
+        grad = (sigmoid - y) * mask / denom[:, None]
+        return grad.reshape(shape)
+
+
+class BatchedCoxPHLoss(BatchedLoss):
+    """Group-batched negative Cox partial log-likelihood (Breslow ties).
+
+    Predictions are risk scores ``(G, B)`` or ``(G, B, 1)``; targets are
+    ``(G, B, 2)`` (time, event).  Risk sets only range over each group's
+    valid records.  Degenerate groups -- no observed events or fewer than
+    two valid records, the cases where :class:`CoxPHLoss` raises
+    :class:`DegenerateBatchError` -- report zero loss and zero gradient.
+    """
+
+    def __init__(self):
+        self._cache: tuple | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        shape = pred.shape
+        mask = np.asarray(mask, dtype=bool)
+        eta = pred.reshape(pred.shape[0], -1).astype(np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim != 3 or target.shape[2] != 2 or target.shape[:2] != eta.shape:
+            raise ValueError("target must be (G, B, 2): time, event")
+        if mask.shape != eta.shape:
+            raise ValueError("mask must be (G, B)")
+        times = target[:, :, 0]
+        events = (target[:, :, 1] > 0) & mask
+        n_events = events.sum(axis=1)
+        defined = (n_events > 0) & (mask.sum(axis=1) >= 2)
+
+        # Risk-set membership within each group's valid records:
+        # R[g, i, j] = 1 iff both valid and t_j >= t_i.
+        risk = (
+            (times[:, None, :] >= times[:, :, None])
+            & mask[:, None, :]
+            & mask[:, :, None]
+        ).astype(np.float64)
+        # Stable log-sum-exp, shifted by each group's max valid score (the
+        # loop path shifts by the batch max -- same quantity per group).
+        eta_max = np.where(mask, eta, -np.inf).max(axis=1, initial=-np.inf)
+        eta_max = np.where(np.isfinite(eta_max), eta_max, 0.0)
+        exp_eta = np.where(mask, np.exp(eta - eta_max[:, None]), 0.0)
+        risk_sums = np.einsum("gij,gj->gi", risk, exp_eta)
+        with np.errstate(divide="ignore"):
+            log_risk = np.where(risk_sums > 0, np.log(risk_sums), 0.0) + eta_max[:, None]
+
+        denom = np.maximum(n_events, 1)
+        loss = -((eta - log_risk) * events).sum(axis=1) / denom
+        self._cache = (shape, risk, exp_eta, risk_sums, events, denom, defined)
+        return np.where(defined, loss, 0.0)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        shape, risk, exp_eta, risk_sums, events, denom, defined = self._cache
+        grad = -events.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weights = np.where(events & (risk_sums > 0), 1.0 / risk_sums, 0.0)
+        grad += exp_eta * np.einsum("gij,gi->gj", risk, weights)
+        grad = grad * defined[:, None] / denom[:, None]
+        return grad.reshape(shape)
+
+
+def batched_counterpart(loss: Loss) -> BatchedLoss:
+    """The group-batched loss matching a per-batch :class:`Loss` instance."""
+    if isinstance(loss, SoftmaxCrossEntropyLoss):
+        return BatchedSoftmaxCrossEntropyLoss()
+    if isinstance(loss, BCEWithLogitsLoss):
+        return BatchedBCEWithLogitsLoss()
+    if isinstance(loss, CoxPHLoss):
+        return BatchedCoxPHLoss()
+    raise TypeError(f"no batched counterpart for loss {type(loss).__name__}")
 
 
 def concordance_index(risk: np.ndarray, times: np.ndarray, events: np.ndarray) -> float:

@@ -17,10 +17,23 @@ Factories reproduce the paper's model sizes:
 from __future__ import annotations
 
 import copy
+import weakref
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchedConv2d,
+    BatchedFlatten,
+    BatchedLinear,
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
 
 
 class Sequential:
@@ -83,6 +96,143 @@ class Sequential:
     def clone(self) -> "Sequential":
         """Deep copy (independent parameters and caches)."""
         return copy.deepcopy(self)
+
+
+class BatchedSequential(Sequential):
+    """``G`` independent copies of a :class:`Sequential`, trained in lockstep.
+
+    Every parameterised layer carries a leading group axis, so one
+    forward/backward moves all ``G`` models at once -- the substrate of the
+    vectorized multi-user engine (:mod:`repro.core.engine`).  The flat
+    parameter interface becomes matrix-valued: ``get_flat_params`` returns a
+    ``(G, P)`` matrix whose row ``g`` uses exactly the same layout as the
+    template model's flat vector, and ``set_flat_params`` accepts either a
+    ``(P,)`` vector (broadcast to every group -- "all users start from the
+    global model") or a ``(G, P)`` matrix.
+    """
+
+    def __init__(self, layers: list[Layer], groups: int):
+        super().__init__(layers)
+        if groups < 1:
+            raise ValueError("need at least one group")
+        self.groups = groups
+
+    @property
+    def num_params(self) -> int:
+        """Per-group parameter count (matches the template model's)."""
+        return sum(p[0].size for p in self.params)
+
+    def get_flat_params(self) -> np.ndarray:
+        """Per-group flat parameters as a ``(G, P)`` matrix (copy)."""
+        if not self.params:
+            return np.zeros((self.groups, 0))
+        return np.concatenate([p.reshape(self.groups, -1) for p in self.params], axis=1)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a ``(P,)`` vector (broadcast) or ``(G, P)`` matrix."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim == 1:
+            # Broadcast-on-write: every group gets the same global vector
+            # without materialising a (G, P) intermediate.
+            if flat.size != self.num_params:
+                raise ValueError(
+                    f"expected {self.num_params} parameters, got {flat.size}"
+                )
+            offset = 0
+            for p in self.params:
+                size = p[0].size
+                p[...] = flat[offset : offset + size].reshape(p.shape[1:])
+                offset += size
+            return
+        if flat.shape != (self.groups, self.num_params):
+            raise ValueError(
+                f"expected ({self.groups}, {self.num_params}) parameters, "
+                f"got {flat.shape}"
+            )
+        offset = 0
+        for p in self.params:
+            size = p[0].size
+            p[...] = flat[:, offset : offset + size].reshape(p.shape)
+            offset += size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Per-group flat gradients as a ``(G, P)`` matrix."""
+        if not self.grads:
+            return np.zeros((self.groups, 0))
+        return np.concatenate([g.reshape(self.groups, -1) for g in self.grads], axis=1)
+
+
+#: Cache of batched replicas keyed by template model (weakly) and group
+#: count.  The multi-user engine requests the same (template, groups)
+#: combination every round; rebuilding would re-allocate -- and re-fault --
+#: hundreds of megabytes of parameter/gradient storage per round.
+_BATCHED_CACHE: "weakref.WeakKeyDictionary[Sequential, dict[int, BatchedSequential]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def batch_model(
+    template: Sequential, groups: int, reuse: bool = False
+) -> BatchedSequential:
+    """Replicate ``template`` into a :class:`BatchedSequential` of ``groups`` copies.
+
+    Parameterised layers become their ``Batched*`` counterparts (allocated
+    as zeros -- load them with ``set_flat_params``); stateless layers are
+    recreated fresh.  The per-group flat parameter layout matches the
+    template's, so global parameter vectors move between the two unchanged.
+
+    With ``reuse=True`` the replica is cached per (template, groups) and
+    returned again on the next call with *stale parameters and gradients*
+    -- callers must load parameters and zero gradients before use (the
+    engine always does).
+    """
+    if reuse:
+        per_template = _BATCHED_CACHE.setdefault(template, {})
+        cached = per_template.get(groups)
+        if cached is not None:
+            return cached
+        if len(per_template) >= 8:
+            # Bound the cached storage when group counts churn (e.g. Poisson
+            # sub-sampling produces a different count every round).
+            per_template.clear()
+        built = batch_model(template, groups, reuse=False)
+        per_template[groups] = built
+        return built
+    layers: list[Layer] = []
+    for layer in template.layers:
+        if isinstance(layer, Linear):
+            layers.append(
+                BatchedLinear(layer.weight.shape[0], layer.weight.shape[1], groups)
+            )
+        elif isinstance(layer, Conv2d):
+            layers.append(
+                BatchedConv2d(
+                    layer.weight.shape[1],
+                    layer.weight.shape[0],
+                    layer.kernel_size,
+                    groups,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                )
+            )
+        elif isinstance(layer, Flatten):
+            layers.append(BatchedFlatten())
+        elif isinstance(layer, ReLU):
+            layers.append(ReLU())
+        elif isinstance(layer, Tanh):
+            layers.append(Tanh())
+        elif isinstance(layer, MaxPool2d):
+            layers.append(MaxPool2d(layer.size))
+        elif isinstance(layer, AvgPool2d):
+            layers.append(AvgPool2d(layer.size))
+        else:
+            raise TypeError(
+                f"no batched counterpart for layer {type(layer).__name__}"
+            )
+    if layers and isinstance(layers[0], (BatchedLinear, BatchedConv2d)):
+        # Nothing consumes the input gradient of the first layer.
+        layers[0].skip_input_grad = True
+    return BatchedSequential(layers, groups)
 
 
 def build_tiny_mlp(

@@ -48,6 +48,7 @@ class SecureUldpAvg(UldpAvg):
         precision: float = 1e-10,
         protocol_seed: int | None = 0,
         private_subsampling_slots: int | None = None,
+        engine: str = "vectorized",
     ):
         if private_subsampling_slots is not None:
             if user_sample_rate is not None:
@@ -69,6 +70,7 @@ class SecureUldpAvg(UldpAvg):
             weighting="proportional",
             user_sample_rate=user_sample_rate,
             batch_size=batch_size,
+            engine=engine,
         )
         self.n_max = n_max
         self.paillier_bits = paillier_bits

@@ -1,0 +1,50 @@
+"""Docstring-coverage check: every public module in src/repro needs a docstring.
+
+Used by ``make docs-check`` and ``tests/test_docs.py``.  Exits non-zero and
+lists offenders when a module (any ``.py`` file under ``src/repro`` whose
+name does not start with an underscore, plus ``__init__.py`` files) lacks a
+module-level docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def modules_missing_docstrings(root: Path = SOURCE_ROOT) -> list[Path]:
+    """Paths of public modules under ``root`` without a module docstring."""
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            missing.append(path.relative_to(REPO_ROOT))
+    return missing
+
+
+def main() -> int:
+    missing = modules_missing_docstrings()
+    checked = len(
+        [
+            p
+            for p in SOURCE_ROOT.rglob("*.py")
+            if not p.name.startswith("_") or p.name == "__init__.py"
+        ]
+    )
+    if missing:
+        print(f"{len(missing)} public module(s) missing a module docstring:")
+        for path in missing:
+            print(f"  {path}")
+        return 1
+    print(f"docstring coverage OK: {checked} public modules all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
