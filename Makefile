@@ -1,14 +1,19 @@
 # Developer entry points for the Uldp-FL reproduction.
 #
-#   make test         tier-1 test suite (what CI runs)
-#   make bench        all paper-figure benchmarks (slow, prints tables)
-#   make bench-engine loop vs. vectorized engine speedup on fig05 MNIST
-#   make docs-check   doctest the docs' worked examples + docstring coverage
+#   make test           tier-1 test suite (what CI runs)
+#   make bench          all paper-figure benchmarks (slow, prints tables)
+#   make bench-engine   loop vs. vectorized engine speedup on fig05 MNIST
+#   make bench-protocol reference vs. fast crypto backend on Protocol 1
+#   make docs-check     doctest the docs' worked examples + docstring coverage
+#
+# bench-engine and bench-protocol also refresh the machine-readable
+# BENCH_engine.json / BENCH_protocol.json at the repo root, so the perf
+# trajectory is tracked across PRs.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine docs-check
+.PHONY: test bench bench-engine bench-protocol docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +23,9 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -s
+
+bench-protocol:
+	$(PYTHON) -m pytest benchmarks/bench_protocol_speedup.py -s
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py

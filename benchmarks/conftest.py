@@ -9,9 +9,30 @@ whole computation so ``--benchmark-only`` reports wall-clock times.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core import Trainer
+
+#: Machine-readable benchmark results land next to the repo root so the
+#: perf trajectory can be diffed across PRs (`BENCH_engine.json`,
+#: `BENCH_protocol.json`).
+RESULTS_DIR = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(filename: str, updates: dict) -> Path:
+    """Merge ``updates`` into the machine-readable results file.
+
+    Each bench test contributes its own top-level keys, so partial runs
+    (one test, one figure) refresh only their section.
+    """
+    path = RESULTS_DIR / filename
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(updates)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_history(fed, method, rounds, seed=0, delta=1e-5, eval_every=1):

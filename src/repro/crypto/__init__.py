@@ -25,6 +25,7 @@ supported.
 from repro.crypto.primes import is_probable_prime, random_prime
 from repro.crypto.paillier import (
     PaillierCiphertext,
+    PaillierCrt,
     PaillierKeypair,
     PaillierPrivateKey,
     PaillierPublicKey,
@@ -34,11 +35,14 @@ from repro.crypto.dh import DHGroup, DHKeypair, derive_shared_key
 from repro.crypto.masking import PairwiseMasker, prg_field_elements
 from repro.crypto.blinding import BlindingFactory
 from repro.crypto.encoding import decode_scalar, decode_vector, encode_scalar, encode_vector
+from repro.crypto.fastexp import FixedBaseExp, choose_window
+from repro.crypto.pool import RandomizerPool
 
 __all__ = [
     "is_probable_prime",
     "random_prime",
     "PaillierCiphertext",
+    "PaillierCrt",
     "PaillierKeypair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
@@ -49,7 +53,9 @@ __all__ = [
     "PairwiseMasker",
     "prg_field_elements",
     "BlindingFactory",
-    "BlindingFactory",
+    "FixedBaseExp",
+    "choose_window",
+    "RandomizerPool",
     "encode_scalar",
     "encode_vector",
     "decode_scalar",

@@ -47,21 +47,33 @@ def decode_scalar(x: int, precision: float, c_lcm: int, modulus: int) -> float:
 
 
 def encode_vector(values: Sequence[float] | np.ndarray, precision: float, modulus: int) -> list[int]:
-    """Encode a real vector element-wise into F_n.
+    """Encode a real vector into F_n with one vectorised rounding pass.
 
-    Uses Python integers throughout: the field elements routinely exceed
-    64-bit range, so numpy integer dtypes are not an option.
+    The scaling and round-half-even happen in a single ``np.rint`` over the
+    whole vector (bit-identical to per-element ``round``); only the modular
+    reduction needs Python integers, since field elements routinely exceed
+    64-bit range.
     """
-    return [encode_scalar(float(v), precision, modulus) for v in np.asarray(values).ravel()]
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    scaled = np.rint(np.asarray(values, dtype=np.float64).ravel() / precision)
+    return [int(v) % modulus for v in scaled]
 
 
 def decode_vector(
     values: Sequence[int], precision: float, c_lcm: int, modulus: int
 ) -> np.ndarray:
-    """Decode a vector of field elements back to float64."""
-    return np.array(
-        [decode_scalar(int(v), precision, c_lcm, modulus) for v in values], dtype=np.float64
-    )
+    """Decode a vector of field elements back to float64.
+
+    The signed mapping stays in big-int arithmetic and the C_LCM division
+    is Python's correctly-rounded int/int true division (raw field
+    elements can exceed float range, so neither may go through numpy);
+    only the final precision scaling is one vectorised pass.  Results are
+    bit-identical to the scalar :func:`decode_scalar` form.
+    """
+    half = modulus // 2
+    signed = [v - modulus if v > half else v for v in map(int, values)]
+    return np.array([s / c_lcm for s in signed], dtype=np.float64) * precision
 
 
 def lcm_up_to(n_max: int) -> int:

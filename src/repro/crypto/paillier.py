@@ -132,17 +132,79 @@ class PaillierPublicKey:
 
 
 @dataclass(frozen=True)
+class PaillierCrt:
+    """Precomputed CRT context for a key whose factorisation n = p*q is known.
+
+    Decryption splits into the half-size groups mod p^2 and q^2 -- half-size
+    exponents (p-1, q-1) *and* half-size moduli, ~3-4x faster than the
+    single ``pow(c, lambda, n^2)`` -- and recombines by the Chinese remainder
+    theorem.  The same split accelerates the blinding term ``r^n mod n^2``
+    of encryption (~2x: the exponent n cannot shrink, but both moduli do).
+    Only the key holder (the server in Protocol 1) can use this path; all
+    results are bit-identical to the generic form.
+    """
+
+    p: int
+    q: int
+    p2: int
+    q2: int
+    #: hp = L_p(g^(p-1) mod p^2)^-1 mod p, the per-factor decryption helper.
+    hp: int
+    hq: int
+    p_inv_q: int
+    p2_inv_q2: int
+    n: int
+    n2: int
+
+    @classmethod
+    def from_factors(cls, p: int, q: int) -> "PaillierCrt":
+        if p == q:
+            raise ValueError("factors must be distinct primes")
+        n = p * q
+        n2 = n * n
+        p2 = p * p
+        q2 = q * q
+        g = n + 1
+        hp = pow((pow(g, p - 1, p2) - 1) // p, -1, p)
+        hq = pow((pow(g, q - 1, q2) - 1) // q, -1, q)
+        return cls(
+            p=p, q=q, p2=p2, q2=q2, hp=hp, hq=hq,
+            p_inv_q=pow(p, -1, q), p2_inv_q2=pow(p2, -1, q2), n=n, n2=n2,
+        )
+
+    def decrypt_value(self, c: int) -> int:
+        """Decrypt a raw ciphertext value to an element of F_n."""
+        mp = (pow(c % self.p2, self.p - 1, self.p2) - 1) // self.p * self.hp % self.p
+        mq = (pow(c % self.q2, self.q - 1, self.q2) - 1) // self.q * self.hq % self.q
+        return (mp + self.p * ((mq - mp) * self.p_inv_q % self.q)) % self.n
+
+    def pow_to_n(self, r: int) -> int:
+        """``r^n mod n^2`` via the CRT split (the encryption blinding term)."""
+        xp = pow(r % self.p2, self.n, self.p2)
+        xq = pow(r % self.q2, self.n, self.q2)
+        return (xp + self.p2 * ((xq - xp) * self.p2_inv_q2 % self.q2)) % self.n2
+
+
+@dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Paillier private key using the (lambda, mu) decryption form."""
+    """Paillier private key using the (lambda, mu) decryption form.
+
+    When the key was generated with ``with_crt=True`` the factorisation is
+    retained as a :class:`PaillierCrt` context and :meth:`decrypt` takes the
+    CRT fast path; results are identical either way.
+    """
 
     public_key: PaillierPublicKey
     lam: int
     mu: int
+    crt: PaillierCrt | None = None
 
     def decrypt(self, ciphertext: PaillierCiphertext) -> int:
         """Decrypt to an element of F_n (non-negative, < n)."""
         if ciphertext.public_key != self.public_key:
             raise ValueError("ciphertext does not match this private key")
+        if self.crt is not None:
+            return self.crt.decrypt_value(ciphertext.value)
         n = self.public_key.n
         n2 = self.public_key.n_squared
         u = pow(ciphertext.value, self.lam, n2)
@@ -166,7 +228,9 @@ class PaillierKeypair:
 
 
 def generate_paillier_keypair(
-    bits: int = DEFAULT_KEY_BITS, rng: random.Random | None = None
+    bits: int = DEFAULT_KEY_BITS,
+    rng: random.Random | None = None,
+    with_crt: bool = False,
 ) -> PaillierKeypair:
     """Generate a Paillier keypair with an n of roughly ``bits`` bits.
 
@@ -174,6 +238,9 @@ def generate_paillier_keypair(
         bits: size of the modulus n = p*q; each prime gets bits//2 bits.
         rng: optional deterministic PRNG for reproducible tests.  Production
             use should leave it ``None`` (secrets-based randomness).
+        with_crt: retain the factorisation on the private key so decryption
+            (and the key holder's own encryptions) use the CRT fast path.
+            The RNG stream and the resulting key are identical either way.
     """
     if bits < 64:
         raise ValueError(f"Paillier modulus too small: {bits} bits")
@@ -187,5 +254,6 @@ def generate_paillier_keypair(
     u = pow(n + 1, lam, n2)
     l_value = (u - 1) // n
     mu = pow(l_value, -1, n)
-    private = PaillierPrivateKey(public, lam, mu)
+    crt = PaillierCrt.from_factors(p, q) if with_crt else None
+    private = PaillierPrivateKey(public, lam, mu, crt=crt)
     return PaillierKeypair(public, private)

@@ -13,6 +13,18 @@ Conventions:
 - model vectors are encoded coordinate-wise (length d lists of ints);
 - pairwise mask contexts include the step label and round number so masks
   are never reused.
+
+Both parties take ``crypto_backend="reference" | "fast"``:
+
+- **reference** -- the seed implementation, kept verbatim as the
+  equivalence oracle: fresh full-width encryptions, square-and-multiply
+  scalar exponentiation, (lambda, mu) decryption.
+- **fast** -- the same mathematics computed faster: CRT wherever the
+  factorisation is known (server decryption and server-side encryptions),
+  fixed-base windowed exponentiation for the per-user scalar powers, and
+  offline randomizer pools so online encryption is two multiplications.
+  RNG draws happen in the reference order, so under a seeded RNG the two
+  backends produce bit-identical ciphertexts.
 """
 
 from __future__ import annotations
@@ -24,7 +36,8 @@ import numpy as np
 
 from repro.crypto.blinding import BlindingFactory
 from repro.crypto.dh import DHGroup, DHKeypair, decrypt_with_key, derive_shared_key, encrypt_with_key
-from repro.crypto.encoding import encode_scalar, lcm_up_to
+from repro.crypto.encoding import encode_scalar, encode_vector, lcm_up_to
+from repro.crypto.fastexp import FixedBaseExp, worthwhile
 from repro.crypto.masking import PairwiseMasker
 from repro.crypto.paillier import (
     PaillierCiphertext,
@@ -33,6 +46,53 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
     generate_paillier_keypair,
 )
+from repro.crypto.pool import RandomizerPool
+
+CRYPTO_BACKENDS = ("reference", "fast")
+
+
+def _check_backend(crypto_backend: str) -> str:
+    if crypto_backend not in CRYPTO_BACKENDS:
+        raise ValueError(
+            f"unknown crypto_backend {crypto_backend!r}; choose from {CRYPTO_BACKENDS}"
+        )
+    return crypto_backend
+
+
+def run_weighted_delta_kernel(task: dict) -> list[int]:
+    """The pure big-int kernel of one silo's weighted encrypted delta.
+
+    Everything RNG- or key-dependent (pool draws, masks, blinds, encoding)
+    was already resolved into plain integers by
+    :meth:`SiloParty.weighted_delta_task`, so this function is a top-level,
+    picklable unit of work -- exactly what the runner ships to
+    ``ProcessPoolExecutor`` workers for across-silo parallelism.
+
+    Per user it raises the user's encrypted inverse to d scalar exponents
+    (fixed-base windowed when the batch amortises the table, plain ``pow``
+    otherwise) and multiplies into the per-coordinate accumulators; the
+    result equals the reference backend's ciphertext vector bit for bit.
+    """
+    n = task["n"]
+    n2 = n * n
+    d = task["d"]
+    exp_bits = n.bit_length()
+    totals = list(task["zero_values"])
+    for base, scalars in task["user_terms"]:
+        if worthwhile(exp_bits, d):
+            fb = FixedBaseExp(base, n2, exp_bits, expected_exps=d)
+            for j in range(d):
+                s = scalars[j]
+                if s:
+                    totals[j] = totals[j] * fb.pow(s) % n2
+        else:
+            for j in range(d):
+                s = scalars[j]
+                if s:
+                    totals[j] = totals[j] * pow(base, s, n2) % n2
+    for j, a in enumerate(task["additive"]):
+        totals[j] = totals[j] * ((1 + a * n) % n2) % n2
+    return totals
 
 
 class SiloParty:
@@ -45,6 +105,7 @@ class SiloParty:
         n_max: int,
         dh_group: DHGroup,
         rng: random.Random | None = None,
+        crypto_backend: str = "fast",
     ):
         """
         Args:
@@ -53,7 +114,12 @@ class SiloParty:
             n_max: public upper bound on records per user (defines C_LCM).
             dh_group: shared DH group parameters.
             rng: deterministic randomness for tests (None = secrets).
+            crypto_backend: "fast" (pools + fixed-base exponentiation) or
+                "reference" (the seed implementation, the equivalence
+                oracle).  Both produce identical ciphertexts under a
+                seeded RNG.
         """
+        self.crypto_backend = _check_backend(crypto_backend)
         self.silo_id = silo_id
         self.user_counts = np.asarray(user_counts, dtype=np.int64)
         if np.any(self.user_counts < 0):
@@ -72,6 +138,7 @@ class SiloParty:
         self.paillier_pk: PaillierPublicKey | None = None
         self.blinding: BlindingFactory | None = None
         self.masker: PairwiseMasker | None = None
+        self.pool: RandomizerPool | None = None
 
     # -- Setup steps --------------------------------------------------------
 
@@ -91,6 +158,9 @@ class SiloParty:
         """Step 1(a): store the server's Paillier public key."""
         self.paillier_pk = pk
         self.masker = PairwiseMasker(self.silo_id, self.pair_keys, pk.n)
+        if self.crypto_backend == "fast":
+            # Silos do not know the factorisation, so no CRT context here.
+            self.pool = RandomizerPool(pk, rng=self.rng)
 
     def generate_seed_ciphertexts(self, peers: list[int]) -> dict[int, bytes]:
         """Step 1(c), silo 0 only: encrypt a fresh seed R for every peer."""
@@ -161,9 +231,19 @@ class SiloParty:
         the Eq. (3) weight times the delta, scaled by C_LCM.  The encoded
         noise (times C_LCM) and the per-round secure-aggregation masks are
         added as homomorphic scalars.
+
+        With the fast backend this delegates to
+        :func:`run_weighted_delta_kernel` (pooled ``Enc(0)`` seeds,
+        fixed-base exponentiation); the ciphertexts are bit-identical to
+        the reference loop below under a seeded RNG.
         """
         pk = self._require_setup()
         assert self.blinding is not None and self.masker is not None
+        if self.crypto_backend == "fast":
+            task = self.weighted_delta_task(
+                encrypted_inverses, clipped_deltas, noise, round_no, precision
+            )
+            return [PaillierCiphertext(v, pk) for v in run_weighted_delta_kernel(task)]
         n = pk.n
         d = len(noise)
         # Start from fresh encryptions of zero so per-silo ciphertexts are
@@ -190,6 +270,64 @@ class SiloParty:
             totals[j] = pk.add_scalar(totals[j], (z + masks[j]) % n)
         return totals
 
+    def weighted_delta_task(
+        self,
+        encrypted_inverses: list[PaillierCiphertext],
+        clipped_deltas: dict[int, np.ndarray],
+        noise: np.ndarray,
+        round_no: int,
+        precision: float,
+    ) -> dict:
+        """Resolve one round's silo computation into a picklable kernel task.
+
+        Fast backend only.  Draws the d pooled ``Enc(0)`` seeds *first*
+        (matching the reference backend's RNG order), then encodes every
+        user's delta vector in one vectorised pass and attaches the
+        per-round masks and encoded noise.  The returned dict feeds
+        :func:`run_weighted_delta_kernel` -- inline, or in a worker process
+        when the runner parallelises across silos.
+        """
+        pk = self._require_setup()
+        assert self.blinding is not None and self.masker is not None
+        if self.pool is None:
+            raise RuntimeError("weighted_delta_task requires the fast backend")
+        n = pk.n
+        d = len(noise)
+        zero_values = [self.pool.take() for _ in range(d)]
+        user_terms = []
+        for user, delta in clipped_deltas.items():
+            n_su = int(self.user_counts[user])
+            if n_su == 0:
+                raise ValueError(f"silo {self.silo_id} has no records of user {user}")
+            if len(delta) != d:
+                raise ValueError("delta dimension mismatch")
+            r_u = self.blinding.blind_for_user(user)
+            factor = n_su * r_u % n * self.c_lcm % n
+            encoded = encode_vector(delta, precision, n)
+            user_terms.append(
+                (encrypted_inverses[user].value, [e * factor % n for e in encoded])
+            )
+        masks = self.masker.mask_vector(d, context=f"delta-round-{round_no}")
+        encoded_noise = encode_vector(noise, precision, n)
+        additive = [
+            (z * self.c_lcm + mask) % n for z, mask in zip(encoded_noise, masks)
+        ]
+        return {
+            "n": n,
+            "d": d,
+            "zero_values": zero_values,
+            "user_terms": user_terms,
+            "additive": additive,
+        }
+
+    def prepare_offline(self, count: int) -> None:
+        """Pregenerate ``count`` randomizers (the enhanced protocol's
+        offline phase); online encryption then costs two multiplications."""
+        self._require_setup()
+        if self.pool is None:
+            raise RuntimeError("offline preparation requires the fast backend")
+        self.pool.refill(count)
+
     def _require_setup(self) -> PaillierPublicKey:
         if self.paillier_pk is None:
             raise RuntimeError("setup incomplete: no Paillier key")
@@ -207,10 +345,22 @@ class ServerParty:
         n_users: int,
         paillier_bits: int = 512,
         rng: random.Random | None = None,
+        crypto_backend: str = "fast",
     ):
+        self.crypto_backend = _check_backend(crypto_backend)
         self.n_users = n_users
         self.rng = rng
-        self.keypair: PaillierKeypair = generate_paillier_keypair(paillier_bits, rng=rng)
+        # The keypair is identical across backends (same RNG draws); the
+        # fast backend additionally retains the factorisation for CRT
+        # decryption and CRT-split server-side encryptions.
+        self.keypair: PaillierKeypair = generate_paillier_keypair(
+            paillier_bits, rng=rng, with_crt=self.crypto_backend == "fast"
+        )
+        self.pool: RandomizerPool | None = None
+        if self.crypto_backend == "fast":
+            self.pool = RandomizerPool(
+                self.public_key, crt=self.keypair.private_key.crt, rng=rng
+            )
         self.blinded_totals: list[int] | None = None
         self.blinded_inverses: list[int] | None = None
 
@@ -226,15 +376,21 @@ class ServerParty:
 
     def aggregate_histograms(self, masked_histograms: list[list[int]]) -> None:
         """Step 1(e): sum doubly blinded histograms; masks cancel, leaving
-        B(N_u) = r_u * N_u mod n."""
+        B(N_u) = r_u * N_u mod n.
+
+        The per-user sums run as one numpy object-array reduction over the
+        (|S|, |U|) stack (big ints exceed any fixed-width dtype) with a
+        single modular-reduction pass at the end.
+        """
         n = self.public_key.n
-        totals = [0] * self.n_users
         for hist in masked_histograms:
             if len(hist) != self.n_users:
                 raise ValueError("histogram length mismatch")
-            for u in range(self.n_users):
-                totals[u] = (totals[u] + hist[u]) % n
-        self.blinded_totals = totals
+        if not masked_histograms:
+            self.blinded_totals = [0] * self.n_users
+            return
+        stacked = np.array(masked_histograms, dtype=object)
+        self.blinded_totals = [int(total) % n for total in stacked.sum(axis=0)]
 
     def invert_blinded_totals(self) -> None:
         """Step 1(f): B_inv(N_u) = B(N_u)^-1 over F_n (ext. Euclid).
@@ -268,12 +424,29 @@ class ServerParty:
         if sampled_users is not None:
             include[:] = False
             include[np.asarray(sampled_users, dtype=np.int64)] = True
-        pk = self.public_key
         out = []
         for u in range(self.n_users):
             value = self.blinded_inverses[u] if include[u] else 0
-            out.append(pk.encrypt(value, rng=self.rng))
+            out.append(self.encrypt_value(value))
         return out
+
+    def encrypt_value(self, value: int) -> PaillierCiphertext:
+        """One Paillier encryption under this server's backend.
+
+        Fast backend: pooled/CRT-split blinding term (the randomizer is
+        drawn from the same RNG stream, so the ciphertext is bit-identical
+        to the reference backend's under a seeded RNG).  Used for the
+        encrypted inverses and for the OT slot messages (real and dummy).
+        """
+        if self.pool is not None:
+            return self.pool.encrypt(value)
+        return self.public_key.encrypt(value, rng=self.rng)
+
+    def prepare_offline(self, count: int) -> None:
+        """Pregenerate ``count`` randomizers (offline phase, fast backend)."""
+        if self.pool is None:
+            raise RuntimeError("offline preparation requires the fast backend")
+        self.pool.refill(count)
 
     def aggregate_and_decrypt(
         self,

@@ -13,7 +13,11 @@ handed to the other exactly as the protocol prescribes, and nothing else.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import sys
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,7 +26,11 @@ from repro.crypto.dh import DHGroup
 from repro.crypto.encoding import check_magnitude_budget, lcm_up_to
 from repro.crypto.paillier import PaillierCiphertext
 from repro.protocol.oblivious import OTReceiver, OTSender, PrivateSubsampler
-from repro.protocol.parties import ServerParty, SiloParty
+from repro.protocol.parties import (
+    ServerParty,
+    SiloParty,
+    run_weighted_delta_kernel,
+)
 from repro.protocol.timing import PhaseTimer
 
 
@@ -49,6 +57,13 @@ class PrivateWeightingProtocol:
         precision: fixed-point precision P of Algorithm 5.
         seed: deterministic randomness for reproducible tests; None uses
             cryptographically secure randomness.
+        crypto_backend: "fast" (CRT decryption, fixed-base exponentiation,
+            offline randomizer pools, optional across-silo process
+            parallelism) or "reference" (the seed implementation, kept as
+            the equivalence oracle).  Under a seeded RNG both backends
+            produce bit-identical ciphertexts and aggregates.
+        workers: process count for the per-silo weighting step (fast
+            backend only).  None = min(|S|, cpu count); 1 = in-process.
     """
 
     def __init__(
@@ -59,6 +74,8 @@ class PrivateWeightingProtocol:
         precision: float = 1e-10,
         dh_group: DHGroup | None = None,
         seed: int | None = None,
+        crypto_backend: str = "fast",
+        workers: int | None = None,
     ):
         histogram = np.asarray(histogram, dtype=np.int64)
         if histogram.ndim != 2:
@@ -75,19 +92,102 @@ class PrivateWeightingProtocol:
         self.timer = PhaseTimer()
         self.view = ServerView()
         self.round_no = 0
+        self.crypto_backend = crypto_backend
+        self.workers = workers
         rng = random.Random(seed) if seed is not None else None
+        self.rng = rng
 
         with self.timer.phase("keygen"):
             # Group selection is inside the phase: generating the test
             # group's safe prime is a one-off cost that belongs to keygen,
             # not to whatever happens to run first afterwards.
             group = dh_group if dh_group is not None else DHGroup.test_group()
-            self.server = ServerParty(self.n_users, paillier_bits=paillier_bits, rng=rng)
+            self.server = ServerParty(
+                self.n_users,
+                paillier_bits=paillier_bits,
+                rng=rng,
+                crypto_backend=crypto_backend,
+            )
             self.silos = [
-                SiloParty(s, histogram[s], n_max, group, rng=rng)
+                SiloParty(
+                    s, histogram[s], n_max, group, rng=rng, crypto_backend=crypto_backend
+                )
                 for s in range(self.n_silos)
             ]
         self._setup_done = False
+        self._executor: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Release the worker pool (safe to call repeatedly, and on
+        partially constructed instances via ``__del__``)."""
+        if getattr(self, "_executor", None) is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __del__(self):
+        self.close()
+
+    def _effective_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, min(self.workers, self.n_silos))
+        return max(1, min(self.n_silos, os.cpu_count() or 1))
+
+    def _get_executor(self, workers: int) -> ProcessPoolExecutor:
+        """The protocol-lifetime worker pool, created lazily on first use
+        (spawning processes every round would dwarf small kernels)."""
+        if self._executor is None:
+            # Prefer fork only where it is safe (Linux); macOS forks crash
+            # intermittently with threaded parents, hence CPython's own
+            # switch of the platform default to spawn.
+            mp_context = None
+            if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_context
+            )
+        return self._executor
+
+    def _silo_weighted_vectors(
+        self,
+        per_silo_inverses: list[list[PaillierCiphertext]],
+        clipped_deltas: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+    ) -> list[list[PaillierCiphertext]]:
+        """Step 2(b)-(c) for every silo, in parallel when it pays off.
+
+        Each silo's weighted encryption is embarrassingly parallel; with the
+        fast backend and >1 effective workers the RNG/key-dependent task
+        preparation happens in-process (keeping the draw order exactly as in
+        serial execution) and only the pure big-int kernels are shipped to a
+        process pool, so results are bit-identical to the serial path.
+        """
+        workers = self._effective_workers()
+        if self.crypto_backend == "fast" and workers > 1:
+            tasks = [
+                silo.weighted_delta_task(
+                    per_silo_inverses[s],
+                    clipped_deltas[s],
+                    noises[s],
+                    round_no=self.round_no,
+                    precision=self.precision,
+                )
+                for s, silo in enumerate(self.silos)
+            ]
+            pk = self.server.public_key
+            results = list(
+                self._get_executor(workers).map(run_weighted_delta_kernel, tasks)
+            )
+            return [[PaillierCiphertext(v, pk) for v in vec] for vec in results]
+        return [
+            silo.weighted_encrypted_delta(
+                per_silo_inverses[s],
+                clipped_deltas[s],
+                noises[s],
+                round_no=self.round_no,
+                precision=self.precision,
+            )
+            for s, silo in enumerate(self.silos)
+        ]
 
     # -- Setup phase ---------------------------------------------------------
 
@@ -117,6 +217,38 @@ class PrivateWeightingProtocol:
 
     # -- Weighting phase -------------------------------------------------------
 
+    def _check_round_inputs(
+        self,
+        clipped_deltas: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+    ) -> int:
+        """Shape validation + Theorem 4's overflow guard; returns d.
+
+        Both round entry points (plain and OT-sampled) must refuse inputs
+        whose accumulated fixed-point magnitudes could exceed n/2 -- past
+        that, signed decoding silently wraps instead of failing loudly.
+        """
+        if len(clipped_deltas) != self.n_silos or len(noises) != self.n_silos:
+            raise ValueError("need one delta dict and noise vector per silo")
+        max_abs = max(
+            [float(np.abs(n).max(initial=0.0)) for n in noises]
+            + [
+                float(np.abs(v).max(initial=0.0))
+                for per_silo in clipped_deltas
+                for v in per_silo.values()
+            ]
+            + [1.0]
+        )
+        if not check_magnitude_budget(
+            self.server.public_key.n, self.c_lcm, self.precision, max_abs,
+            num_terms=self.n_silos * (self.n_users + 1),
+        ):
+            raise ValueError(
+                "fixed-point magnitude budget exceeded; increase paillier_bits "
+                "or precision, or decrease n_max"
+            )
+        return len(noises[0])
+
     def run_round(
         self,
         clipped_deltas: list[dict[int, np.ndarray]],
@@ -137,42 +269,26 @@ class PrivateWeightingProtocol:
         """
         if not self._setup_done:
             raise RuntimeError("run_setup must be called first")
-        if len(clipped_deltas) != self.n_silos or len(noises) != self.n_silos:
-            raise ValueError("need one delta dict and noise vector per silo")
-        d = len(noises[0])
-        max_abs = max(
-            [float(np.abs(n).max(initial=0.0)) for n in noises]
-            + [
-                float(np.abs(v).max(initial=0.0))
-                for per_silo in clipped_deltas
-                for v in per_silo.values()
-            ]
-            + [1.0]
-        )
-        if not check_magnitude_budget(
-            self.server.public_key.n, self.c_lcm, self.precision, max_abs,
-            num_terms=self.n_silos * (self.n_users + 1),
-        ):
-            raise ValueError(
-                "fixed-point magnitude budget exceeded; increase paillier_bits "
-                "or precision, or decrease n_max"
-            )
+        d = self._check_round_inputs(clipped_deltas, noises)
+
+        if self.crypto_backend == "fast":
+            with self.timer.phase("offline_randomizers"):
+                # The enhanced protocol's offline phase: pregenerate every
+                # blinding term this round will consume.  Refill order
+                # mirrors the reference backend's online draw order (server
+                # first, then silos by id) so that, under a seeded RNG, the
+                # two backends produce bit-identical ciphertexts.
+                self.server.prepare_offline(self.n_users)
+                for silo in self.silos:
+                    silo.prepare_offline(d)
 
         with self.timer.phase("encrypt_weights"):
             enc_inverses = self.server.encrypted_inverses(sampled_users)
 
-        silo_vectors = []
         with self.timer.phase("silo_weighted_encryption"):
-            for s, silo in enumerate(self.silos):
-                silo_vectors.append(
-                    silo.weighted_encrypted_delta(
-                        enc_inverses,
-                        clipped_deltas[s],
-                        noises[s],
-                        round_no=self.round_no,
-                        precision=self.precision,
-                    )
-                )
+            silo_vectors = self._silo_weighted_vectors(
+                [enc_inverses] * self.n_silos, clipped_deltas, noises
+            )
         self.view.round_ciphertexts.append(
             [[c.value for c in vec] for vec in silo_vectors]
         )
@@ -215,10 +331,16 @@ class PrivateWeightingProtocol:
             raise RuntimeError("run_setup must be called first")
         if self.silos[0].shared_seed != subsampler.shared_seed:
             raise ValueError("subsampler must be seeded with the silos' shared seed R")
+        self._check_round_inputs(clipped_deltas, noises)
 
         pk = self.server.public_key
         byte_len = (pk.n_squared.bit_length() + 7) // 8
-        rng = random.Random(self.round_no)  # per-round OT randomness
+        # Per-round OT randomness comes from the protocol's RNG: seeded runs
+        # stay reproducible, production runs (seed=None) fall through to the
+        # OT classes' secrets-based randomness.  (Seeding from the public
+        # round number, as the seed code did, would make the OT blinding
+        # exponents predictable to anyone.)
+        rng = self.rng
         group = self.silos[0].dh_keypair.group
         n_slots = subsampler.n_slots
 
@@ -229,9 +351,18 @@ class PrivateWeightingProtocol:
                 received: list[PaillierCiphertext] = []
                 for u in range(self.n_users):
                     # Server-side slot preparation: real weight + dummies.
+                    # encrypt_value uses the CRT split under the fast
+                    # backend -- the dummies are by far the bulk of the
+                    # server's per-round encryption work.  Unlike
+                    # run_round, this path deliberately has no offline
+                    # pool prefill: the slot encryptions interleave with
+                    # the OT exponent draws on the shared RNG, and
+                    # prefilling would reorder those draws and break the
+                    # seeded bit-exact equivalence with the reference
+                    # backend (the randomizers are still CRT-split).
                     messages = [
-                        pk.encrypt(self.server.blinded_inverses[u], rng=self.server.rng)
-                    ] + [pk.encrypt(0, rng=self.server.rng) for _ in range(n_slots - 1)]
+                        self.server.encrypt_value(self.server.blinded_inverses[u])
+                    ] + [self.server.encrypt_value(0) for _ in range(n_slots - 1)]
                     payloads = [
                         m.value.to_bytes(byte_len, "big") for m in messages
                     ]
@@ -247,19 +378,10 @@ class PrivateWeightingProtocol:
                     )
                 per_silo_inverses.append(received)
 
-        d = len(noises[0])
-        silo_vectors = []
         with self.timer.phase("silo_weighted_encryption"):
-            for s, silo in enumerate(self.silos):
-                silo_vectors.append(
-                    silo.weighted_encrypted_delta(
-                        per_silo_inverses[s],
-                        clipped_deltas[s],
-                        noises[s],
-                        round_no=self.round_no,
-                        precision=self.precision,
-                    )
-                )
+            silo_vectors = self._silo_weighted_vectors(
+                per_silo_inverses, clipped_deltas, noises
+            )
 
         with self.timer.phase("aggregate_decrypt"):
             aggregate = self.server.aggregate_and_decrypt(

@@ -30,6 +30,12 @@ class SecureUldpAvg(UldpAvg):
     sub-sampling at rate q = 1/P where *neither the server nor the silos*
     learn the per-round outcome (mutually exclusive with
     ``user_sample_rate``, where the server performs and knows the sampling).
+
+    ``crypto_backend`` selects the protocol's cryptographic implementation:
+    "fast" (default: CRT decryption, fixed-base exponentiation, offline
+    randomizer pools, across-silo process parallelism via
+    ``protocol_workers``) or "reference" (the seed implementation).  Both
+    produce identical training histories under a seeded protocol RNG.
     """
 
     name = "ULDP-AVG-w (secure)"
@@ -49,6 +55,8 @@ class SecureUldpAvg(UldpAvg):
         protocol_seed: int | None = 0,
         private_subsampling_slots: int | None = None,
         engine: str = "vectorized",
+        crypto_backend: str = "fast",
+        protocol_workers: int | None = None,
     ):
         if private_subsampling_slots is not None:
             if user_sample_rate is not None:
@@ -77,6 +85,8 @@ class SecureUldpAvg(UldpAvg):
         self.precision = precision
         self.protocol_seed = protocol_seed
         self.private_subsampling_slots = private_subsampling_slots
+        self.crypto_backend = crypto_backend
+        self.protocol_workers = protocol_workers
         self.subsampler: PrivateSubsampler | None = None
         self.protocol: PrivateWeightingProtocol | None = None
 
@@ -93,6 +103,8 @@ class SecureUldpAvg(UldpAvg):
             paillier_bits=self.paillier_bits,
             precision=self.precision,
             seed=self.protocol_seed,
+            crypto_backend=self.crypto_backend,
+            workers=self.protocol_workers,
         )
         self.protocol.run_setup()
         if self.private_subsampling_slots is not None:

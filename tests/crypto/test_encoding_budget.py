@@ -1,0 +1,95 @@
+"""Boundary coverage for the fixed-point magnitude budget (Theorem 4) and
+vector encode/decode consistency with the scalar forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.crypto.encoding import (
+    check_magnitude_budget,
+    decode_scalar,
+    decode_vector,
+    encode_scalar,
+    encode_vector,
+)
+
+
+class TestCheckMagnitudeBudget:
+    MODULUS = 10_000_019  # arbitrary odd modulus; budget is modulus // 2
+
+    def test_exact_half_budget_fails(self):
+        # num_terms * max_encoded * c_lcm == modulus // 2 must be rejected:
+        # the signed decoding needs strict inequality.
+        modulus = 2 * 6 * 100 * 5 + 1  # modulus // 2 == 6 * 100 * 5
+        assert math.ceil(9.9 / 0.1) + 1 == 100
+        assert not check_magnitude_budget(
+            modulus, c_lcm=5, precision=0.1, max_abs_value=9.9, num_terms=6
+        )
+
+    def test_one_below_half_budget_passes(self):
+        modulus = 2 * 6 * 100 * 5 + 3  # modulus // 2 == budget + 1
+        assert check_magnitude_budget(
+            modulus, c_lcm=5, precision=0.1, max_abs_value=9.9, num_terms=6
+        )
+
+    def test_zero_terms_always_pass(self):
+        assert check_magnitude_budget(
+            self.MODULUS, c_lcm=10**6, precision=1e-12, max_abs_value=1e9, num_terms=0
+        )
+
+    def test_zero_magnitude_uses_safety_margin(self):
+        # max_abs_value = 0 still costs ceil(0) + 1 = 1 per term.
+        assert check_magnitude_budget(
+            self.MODULUS, c_lcm=1, precision=1.0, max_abs_value=0.0,
+            num_terms=self.MODULUS // 2 - 1,
+        )
+        assert not check_magnitude_budget(
+            self.MODULUS, c_lcm=1, precision=1.0, max_abs_value=0.0,
+            num_terms=self.MODULUS // 2,
+        )
+
+
+class TestEncodingRoundTrip:
+    MODULUS = (1 << 127) - 1
+    PRECISION = 1e-6
+
+    def test_negative_value_round_trip(self):
+        for x in [-1.5, -1e-6, -123.456789, -0.0]:
+            encoded = encode_scalar(x, self.PRECISION, self.MODULUS)
+            assert 0 <= encoded < self.MODULUS
+            decoded = decode_scalar(encoded, self.PRECISION, 1, self.MODULUS)
+            assert decoded == pytest.approx(x, abs=self.PRECISION / 2)
+
+    def test_negative_values_map_to_upper_half(self):
+        encoded = encode_scalar(-1.0, self.PRECISION, self.MODULUS)
+        assert encoded > self.MODULUS // 2
+
+    def test_round_trip_with_c_lcm(self):
+        c_lcm = 2520
+        for x in [-3.25, 0.0, 7.125]:
+            encoded = encode_scalar(x, self.PRECISION, self.MODULUS) * c_lcm % self.MODULUS
+            decoded = decode_scalar(encoded, self.PRECISION, c_lcm, self.MODULUS)
+            assert decoded == pytest.approx(x, abs=self.PRECISION)
+
+    def test_vector_forms_match_scalar_forms(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate([rng.standard_normal(17) * 10, [-0.5, 0.0, 0.5]])
+        encoded = encode_vector(values, self.PRECISION, self.MODULUS)
+        assert encoded == [
+            encode_scalar(float(v), self.PRECISION, self.MODULUS) for v in values
+        ]
+        decoded = decode_vector(encoded, self.PRECISION, 1, self.MODULUS)
+        expected = np.array(
+            [decode_scalar(e, self.PRECISION, 1, self.MODULUS) for e in encoded]
+        )
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_empty_vector(self):
+        assert encode_vector([], self.PRECISION, self.MODULUS) == []
+        decoded = decode_vector([], self.PRECISION, 1, self.MODULUS)
+        assert decoded.shape == (0,) and decoded.dtype == np.float64
+
+    def test_encode_vector_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            encode_vector([1.0], 0.0, self.MODULUS)

@@ -1,0 +1,69 @@
+"""Unit coverage for PhaseTimer (the Fig. 10/11 per-phase instrumentation)."""
+
+import pytest
+
+from repro.protocol.timing import PhaseTimer
+
+
+class TestPhaseContextManager:
+    def test_phase_accumulates_time_and_count(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        with timer.phase("work"):
+            pass
+        assert timer.counts["work"] == 2
+        assert timer.totals["work"] >= 0.0
+
+    def test_phase_records_even_when_body_raises(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("failing"):
+                raise RuntimeError("boom")
+        assert timer.counts["failing"] == 1
+        assert "failing" in timer.report()
+
+
+class TestAdd:
+    def test_add_accumulates(self):
+        timer = PhaseTimer()
+        timer.add("offline", 1.5)
+        timer.add("offline", 0.5)
+        assert timer.totals["offline"] == pytest.approx(2.0)
+        assert timer.counts["offline"] == 2
+
+    def test_add_zero_duration_counts(self):
+        timer = PhaseTimer()
+        timer.add("noop", 0.0)
+        assert timer.counts["noop"] == 1
+        assert timer.totals["noop"] == 0.0
+
+    def test_add_rejects_negative(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            timer.add("bad", -0.001)
+        assert "bad" not in timer.totals
+
+
+class TestReportAndSummary:
+    def test_report_returns_copy(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        report = timer.report()
+        report["a"] = 99.0
+        assert timer.totals["a"] == 1.0
+
+    def test_summary_lists_phases_sorted_with_counts(self):
+        timer = PhaseTimer()
+        timer.add("zulu", 0.25)
+        timer.add("alpha", 0.1)
+        timer.add("alpha", 0.1)
+        summary = timer.summary()
+        lines = summary.splitlines()
+        assert len(lines) == 2
+        assert "alpha" in lines[0] and "(x2)" in lines[0]
+        assert "zulu" in lines[1] and "(x1)" in lines[1]
+        assert "250.0 ms" in lines[1]
+
+    def test_empty_summary(self):
+        assert PhaseTimer().summary() == ""
