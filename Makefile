@@ -4,16 +4,17 @@
 #   make bench          all paper-figure benchmarks (slow, prints tables)
 #   make bench-engine   loop vs. vectorized engine speedup on fig05 MNIST
 #   make bench-protocol reference vs. fast crypto backend on Protocol 1
+#   make bench-sim      simulation runtime: 1M-user population + dropout
 #   make docs-check     doctest the docs' worked examples + docstring coverage
 #
-# bench-engine and bench-protocol also refresh the machine-readable
-# BENCH_engine.json / BENCH_protocol.json at the repo root, so the perf
-# trajectory is tracked across PRs.
+# bench-engine, bench-protocol, and bench-sim also refresh the
+# machine-readable BENCH_engine.json / BENCH_protocol.json / BENCH_sim.json
+# at the repo root, so the perf trajectory is tracked across PRs.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +27,9 @@ bench-engine:
 
 bench-protocol:
 	$(PYTHON) -m pytest benchmarks/bench_protocol_speedup.py -s
+
+bench-sim:
+	$(PYTHON) -m pytest benchmarks/bench_sim_scale.py -s
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py

@@ -1,0 +1,135 @@
+"""Simulation-runtime scale bench: million-user populations + 100-round dropout.
+
+Two measurements of the :mod:`repro.sim` federation runtime:
+
+1. **Population scale** -- builds a >= 1M-user
+   :class:`repro.sim.population.ShardedUserPopulation` (memory-mapped,
+   lazily-materialised allocation shards), drives 100 rounds of user churn
+   across it, and samples participation rosters.  Asserts setup is lazy
+   (no shards materialised up front) and effectively instant, and reports
+   churn/sampling throughput plus the resident footprint of the
+   materialised shards.
+
+2. **Dropout scenario** -- runs the ``flaky-silos`` scenario (iid 30 %
+   per-round silo dropout) for 100 rounds end to end, asserting the
+   participation log shows real dropout, the accountant recorded one
+   honest release per round, and a >= 1M-user population simulation
+   completed.  Reports rounds/second.
+
+Both sections land in ``BENCH_sim.json`` at the repo root next to the
+engine and protocol bench JSONs.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_sim_scale.py -s
+ or:  PYTHONPATH=src python benchmarks/bench_sim_scale.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+from conftest import host_info, print_header, write_bench_json
+
+from repro.sim import ShardedUserPopulation, run_scenario
+
+POPULATION_USERS = 1_200_000
+CHURN_ROUNDS = 100
+SCENARIO_ROUNDS = 100
+SETUP_BUDGET_SECONDS = 0.5
+
+
+def _bench_population() -> dict:
+    """>= 1M-user population: lazy setup, churn, and roster sampling."""
+    rng = np.random.default_rng(0)
+    with tempfile.TemporaryDirectory(prefix="bench-sim-pop-") as backing:
+        start = time.perf_counter()
+        pop = ShardedUserPopulation(POPULATION_USERS, backing_dir=backing, seed=7)
+        setup_seconds = time.perf_counter() - start
+        assert pop.n_users >= 1_000_000
+        assert pop.n_materialised_shards == 0, "setup must stay lazy"
+        assert setup_seconds < SETUP_BUDGET_SECONDS
+
+        start = time.perf_counter()
+        for _ in range(CHURN_ROUNDS):
+            pop.apply_churn(rng, departure_rate=0.01, arrival_rate=0.005)
+        churn_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        roster = pop.sample_users(rng, 10_000)
+        sample_seconds = time.perf_counter() - start
+        assert len(np.unique(roster)) == 10_000
+
+        return {
+            "n_users": pop.n_users,
+            "n_shards": pop.n_shards,
+            "setup_seconds": setup_seconds,
+            "churn_rounds": CHURN_ROUNDS,
+            "churn_seconds": churn_seconds,
+            "churn_users_per_second": CHURN_ROUNDS * pop.n_users / churn_seconds,
+            "sample_10k_seconds": sample_seconds,
+            "resident_mb": pop.resident_bytes / 1e6,
+            "active_after_churn": pop.n_active,
+            "total_arrivals": pop.total_arrivals,
+            "total_departures": pop.total_departures,
+        }
+
+
+def _bench_scenario() -> dict:
+    """100-round flaky-silos dropout scenario, end to end."""
+    start = time.perf_counter()
+    sim = run_scenario("flaky-silos", scale="smoke", seed=0, rounds=SCENARIO_ROUNDS)
+    seconds = time.perf_counter() - start
+    history = sim.history
+    assert len(history.round_seconds) == SCENARIO_ROUNDS
+    assert len(sim.method.accountant.releases) == SCENARIO_ROUNDS
+    silos_seen = [p.silos_seen for p in history.participation]
+    assert min(silos_seen) < sim.fed.n_silos, "dropout never struck in 100 rounds?"
+    summary = history.participation_summary()
+    assert summary is not None
+    final = history.final
+    return {
+        "scenario": "flaky-silos",
+        "rounds": SCENARIO_ROUNDS,
+        "seconds": seconds,
+        "rounds_per_second": SCENARIO_ROUNDS / seconds,
+        "final_metric": final.metric,
+        "final_epsilon": final.epsilon,
+        "mean_silos_seen": summary[0],
+        "mean_users_seen": summary[1],
+        "min_silos_seen": int(min(silos_seen)),
+    }
+
+
+def test_sim_scale():
+    """Populate BENCH_sim.json with both scale measurements."""
+    print_header("simulation runtime scale bench")
+
+    population = _bench_population()
+    print(
+        f"population: {population['n_users']:,} users in "
+        f"{population['n_shards']} shards | setup {population['setup_seconds'] * 1e3:.2f} ms "
+        f"(lazy) | {CHURN_ROUNDS} churn rounds in {population['churn_seconds']:.2f} s "
+        f"({population['churn_users_per_second']:.3g} user-rounds/s) | "
+        f"resident {population['resident_mb']:.1f} MB"
+    )
+
+    scenario = _bench_scenario()
+    print(
+        f"scenario: {scenario['scenario']} x {scenario['rounds']} rounds in "
+        f"{scenario['seconds']:.1f} s ({scenario['rounds_per_second']:.2f} rounds/s) | "
+        f"mean participation {scenario['mean_silos_seen']:.2f} silos / "
+        f"{scenario['mean_users_seen']:.1f} users | eps {scenario['final_epsilon']:.2f}"
+    )
+
+    path = write_bench_json(
+        "BENCH_sim.json",
+        {
+            "population_scale": population,
+            "dropout_scenario": scenario,
+            "host": host_info(),
+        },
+    )
+    print(f"results written to {path}")
+
+
+if __name__ == "__main__":
+    test_sim_scale()

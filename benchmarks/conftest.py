@@ -18,7 +18,7 @@ from repro.core import Trainer
 
 #: Machine-readable benchmark results land next to the repo root so the
 #: perf trajectory can be diffed across PRs (`BENCH_engine.json`,
-#: `BENCH_protocol.json`).
+#: `BENCH_protocol.json`, `BENCH_sim.json`).
 RESULTS_DIR = Path(__file__).resolve().parent.parent
 
 
@@ -33,6 +33,18 @@ def write_bench_json(filename: str, updates: dict) -> Path:
     data.update(updates)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def host_info() -> dict:
+    """Host context recorded alongside throughput numbers (cores, platform)."""
+    import os
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def run_history(fed, method, rounds, seed=0, delta=1e-5, eval_every=1):

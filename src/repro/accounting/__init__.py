@@ -35,7 +35,7 @@ from repro.accounting.group import (
     group_epsilon_via_rdp,
     group_epsilon_via_normal_dp,
 )
-from repro.accounting.accountant import PrivacyAccountant, RdpEvent
+from repro.accounting.accountant import PrivacyAccountant, RdpEvent, ReleaseEvent
 from repro.accounting.calibration import (
     calibrate_noise_multiplier,
     calibrate_sample_rate,
@@ -58,4 +58,5 @@ __all__ = [
     "group_epsilon_via_normal_dp",
     "PrivacyAccountant",
     "RdpEvent",
+    "ReleaseEvent",
 ]

@@ -44,6 +44,33 @@ class RdpEvent:
         )
 
 
+@dataclass(frozen=True)
+class ReleaseEvent:
+    """Sensitivity bookkeeping for one partial-participation release.
+
+    Under the simulation runtime each aggregate release may realise a
+    sensitivity other than C (carryover gains, per-release weight sums) and
+    a noise scale other than sigma * C (dropped silos without noise
+    rescaling, staleness-discounted async noise).  The honest per-release
+    noise multiplier is ``sigma * noise_scale / sensitivity``.
+    """
+
+    noise_multiplier: float
+    sample_rate: float = 1.0
+    #: Realised sensitivity in units of C (max per-user weight sum applied
+    #: in this release); 0 means the release carried no user signal.
+    sensitivity: float = 1.0
+    #: Realised aggregate noise std in units of sigma * C.
+    noise_scale: float = 1.0
+
+    @property
+    def effective_noise_multiplier(self) -> float:
+        """The sigma actually protecting this release's worst-case user."""
+        if self.sensitivity <= 0:
+            return float("inf")
+        return self.noise_multiplier * self.noise_scale / self.sensitivity
+
+
 @dataclass
 class PrivacyAccountant:
     """Composable RDP accountant over a fixed order grid."""
@@ -51,6 +78,9 @@ class PrivacyAccountant:
     alphas: np.ndarray = field(default_factory=lambda: DEFAULT_ALPHAS.copy())
     _rhos: np.ndarray = field(init=False)
     history: list[RdpEvent] = field(init=False, default_factory=list)
+    #: Per-release sensitivity bookkeeping appended by :meth:`step_release`
+    #: (empty for trainers that only ever call :meth:`step`).
+    releases: list[ReleaseEvent] = field(init=False, default_factory=list)
     # Cache of per-(q, sigma) single-step curves: computing the sub-sampled
     # curve is the expensive part and trainers call step() every round with
     # identical parameters.
@@ -84,6 +114,35 @@ class PrivacyAccountant:
             )
         self._rhos = self._rhos + steps * self._curve_cache[key]
         self.history.append(event)
+
+    def step_release(
+        self,
+        noise_multiplier: float,
+        sample_rate: float = 1.0,
+        sensitivity: float = 1.0,
+        noise_scale: float = 1.0,
+    ) -> None:
+        """Account one partial-participation release honestly.
+
+        The release's effective noise multiplier is
+        ``sigma * noise_scale / sensitivity`` (see :class:`ReleaseEvent`):
+        carryover gains (sensitivity > 1) *increase* the privacy cost,
+        silos dropping without noise rescaling (noise_scale < 1) do too.
+        A release with zero sensitivity carries no user signal and consumes
+        no budget (it is still logged for the honesty report).
+
+        Under full participation (sensitivity = noise_scale = 1) this is
+        exactly :meth:`step` -- the oracle-equivalence invariant.
+        """
+        if sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+        if noise_scale < 0:
+            raise ValueError("noise scale must be non-negative")
+        event = ReleaseEvent(noise_multiplier, sample_rate, sensitivity, noise_scale)
+        self.releases.append(event)
+        if sensitivity == 0:
+            return
+        self.step(event.effective_noise_multiplier, sample_rate=sample_rate)
 
     @property
     def rdp_curve(self) -> np.ndarray:
@@ -138,3 +197,43 @@ class PrivacyAccountant:
     def reset(self) -> None:
         self._rhos = np.zeros_like(self.alphas)
         self.history.clear()
+        self.releases.clear()
+
+    # -- checkpoint serialisation --------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot restoring the accountant bit-exactly.
+
+        Floats survive the JSON round-trip exactly (shortest-repr floats
+        parse back to the identical IEEE-754 value), so a resumed
+        accountant reports the same epsilon to the last bit.  The curve
+        cache is not saved; it is a pure performance memo.
+        """
+        return {
+            "schema": "uldp-fl-accountant/v1",
+            "alphas": [float(a) for a in self.alphas],
+            "rhos": [float(r) for r in self._rhos],
+            "history": [
+                [e.noise_multiplier, e.sample_rate, e.steps] for e in self.history
+            ],
+            "releases": [
+                [e.noise_multiplier, e.sample_rate, e.sensitivity, e.noise_scale]
+                for e in self.releases
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PrivacyAccountant":
+        """Inverse of :meth:`state_dict`."""
+        if state.get("schema") != "uldp-fl-accountant/v1":
+            raise ValueError(f"unknown accountant schema: {state.get('schema')!r}")
+        acct = cls(alphas=np.asarray(state["alphas"], dtype=np.float64))
+        acct._rhos = np.asarray(state["rhos"], dtype=np.float64)
+        acct.history = [
+            RdpEvent(sigma, q, int(steps)) for sigma, q, steps in state["history"]
+        ]
+        acct.releases = [
+            ReleaseEvent(sigma, q, sens, scale)
+            for sigma, q, sens, scale in state["releases"]
+        ]
+        return acct

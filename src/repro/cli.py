@@ -4,6 +4,8 @@ Subcommands:
 
 - ``train``     -- run one method on one benchmark and print the history
                    (optionally save it as JSON).
+- ``simulate``  -- run a named federation scenario (dropout, stragglers,
+                   churn, async aggregation) with checkpoint/resume.
 - ``epsilon``   -- query the accountant: eps for (sigma, steps, q, delta),
                    optionally through a group-privacy conversion.
 - ``calibrate`` -- invert the accountant: the sigma (or q) achieving a
@@ -14,6 +16,9 @@ Examples::
 
     python -m repro train --dataset creditcard --method uldp-avg-w \\
         --rounds 10 --users 100 --distribution zipf
+    python -m repro simulate --scenario silo-outage --rounds 20 \\
+        --checkpoint-dir ckpt/
+    python -m repro simulate --resume ckpt/
     python -m repro epsilon --sigma 5.0 --steps 100000 --sample-rate 0.01 \\
         --group-size 8
     python -m repro calibrate --target-epsilon 2.0 --steps 100
@@ -147,6 +152,55 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
+def cmd_simulate(args) -> int:
+    from repro.sim import (
+        available_scenarios,
+        continue_simulation,
+        describe_scenario,
+        run_scenario,
+    )
+
+    if args.list:
+        for name in available_scenarios():
+            print(f"{name:<22s} {describe_scenario(name)}")
+        return 0
+    if args.resume:
+        if args.scenario or args.rounds is not None or args.seed != 0:
+            print(
+                "note: --resume rebuilds from the checkpoint's stored "
+                "scenario/scale/seed/rounds; other flags are ignored",
+                file=sys.stderr,
+            )
+        sim = continue_simulation(args.resume, checkpoint_every=args.checkpoint_every)
+        print(f"resumed from {args.resume}")
+    elif args.scenario:
+        sim = run_scenario(
+            args.scenario,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        print("specify --scenario, --resume, or --list", file=sys.stderr)
+        return 2
+    print(comparison_table([sim.history]))
+    releases = sim.method.accountant.releases
+    if releases:
+        worst = max(releases, key=lambda r: r.sensitivity)
+        print(
+            f"\n{len(releases)} releases; worst-case realised sensitivity "
+            f"{worst.sensitivity:.3f} C (noise scale {worst.noise_scale:.3f})"
+        )
+    if args.checkpoint_dir and not args.resume:
+        print(f"checkpoints in {args.checkpoint_dir}")
+    if args.output:
+        save_histories([sim.history], args.output)
+        print(f"history saved to {args.output}")
+    return 0
+
+
 def cmd_datasets(args) -> int:
     for name, description in DATASETS.items():
         print(f"{name:<14s} {description}")
@@ -225,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     ds = sub.add_parser("datasets", help="list benchmark federations")
     ds.set_defaults(func=cmd_datasets)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a federation scenario (dropout/stragglers/async)"
+    )
+    simulate.add_argument("--scenario", type=str, default=None,
+                          help="scenario name (see --list)")
+    simulate.add_argument("--list", action="store_true", help="list scenarios")
+    simulate.add_argument("--scale", choices=["smoke", "small", "paper"],
+                          default="small")
+    simulate.add_argument("--rounds", type=int, default=None,
+                          help="override the scale's round count")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--checkpoint-dir", type=str, default=None,
+                          help="snapshot the simulation state here")
+    simulate.add_argument("--checkpoint-every", type=int, default=None,
+                          help="rounds between snapshots (default: rounds/4)")
+    simulate.add_argument("--resume", type=str, default=None, metavar="CKPT",
+                          help="resume from a checkpoint directory")
+    simulate.add_argument("--output", type=str, default=None,
+                          help="write the history JSON here")
+    simulate.set_defaults(func=cmd_simulate)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", nargs="?", default=None,

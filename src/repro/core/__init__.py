@@ -24,10 +24,21 @@ from repro.core.methods import (
     build_group_flags,
     resolve_group_size,
 )
+from repro.core.methods.base import ParticipationSummary
 from repro.core.metrics import evaluate_model, make_batched_loss, make_loss, metric_name
-from repro.core.trainer import RoundRecord, Trainer, TrainingHistory, default_model_for
+from repro.core.trainer import (
+    ParticipationRecord,
+    RoundRecord,
+    Trainer,
+    TrainingHistory,
+    default_model_for,
+)
 from repro.core.weighting import (
+    RENORMS,
+    RoundParticipation,
+    participation_weights,
     proportional_weights,
+    realised_sensitivity,
     subsample_weights,
     uniform_weights,
     validate_weights,
@@ -56,11 +67,17 @@ __all__ = [
     "make_batched_loss",
     "make_loss",
     "metric_name",
+    "ParticipationRecord",
+    "ParticipationSummary",
     "RoundRecord",
     "Trainer",
     "TrainingHistory",
     "default_model_for",
+    "RENORMS",
+    "RoundParticipation",
+    "participation_weights",
     "proportional_weights",
+    "realised_sensitivity",
     "subsample_weights",
     "uniform_weights",
     "validate_weights",

@@ -18,11 +18,19 @@ implementation: ``"loop"`` runs the straightforward per-user Python loop
 computation through the batched engine of :mod:`repro.core.engine`.  Both
 engines consume the shared RNG identically and agree on round aggregates
 to within floating-point reassociation.
+
+``round`` accepts an optional
+:class:`repro.core.weighting.RoundParticipation` describing which silos
+and users take part (the :mod:`repro.sim` runtime's dropout/churn roster).
+``participation=None`` is the idealised full-participation setting and is
+bit-identical to the pre-simulation behaviour.  After every round a method
+records who actually contributed in :attr:`FLMethod.last_participation`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,9 +42,20 @@ from repro.core.engine import (
     validate_engine,
 )
 from repro.core.metrics import make_loss
+from repro.core.weighting import RoundParticipation
 from repro.data.federated import FederatedDataset
 from repro.nn.model import Sequential
 from repro.nn.train import train_epochs
+
+
+@dataclass(frozen=True)
+class ParticipationSummary:
+    """Who actually contributed to one round's aggregate."""
+
+    #: Silos whose updates (or noise) entered the aggregate.
+    silos_seen: int
+    #: Distinct users whose records influenced the aggregate.
+    users_seen: int
 
 
 class FLMethod(ABC):
@@ -51,6 +70,9 @@ class FLMethod(ABC):
         self.fed: FederatedDataset | None = None
         self.model: Sequential | None = None
         self.rng: np.random.Generator | None = None
+        #: Set by :meth:`round`: realised participation of the last round
+        #: (None until the first round; the trainer records it per round).
+        self.last_participation: ParticipationSummary | None = None
 
     def prepare(
         self, fed: FederatedDataset, model: Sequential, rng: np.random.Generator
@@ -61,8 +83,20 @@ class FLMethod(ABC):
         self.rng = rng
 
     @abstractmethod
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
-        """Run round ``t`` from flat params; returns the next flat params."""
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
+        """Run round ``t`` from flat params; returns the next flat params.
+
+        ``participation`` restricts the round to a subset of silos/users
+        (None = everyone, exactly the pre-simulation behaviour).  Weight-
+        based methods (ULDP-AVG/SGD) honour the full roster; silo-level
+        methods (DEFAULT, ULDP-NAIVE, ULDP-GROUP) honour ``silo_mask``
+        only and document that ``user_mask`` is ignored.
+        """
 
     def epsilon(self, delta: float) -> float | None:
         """Cumulative user-level (eps, delta)-ULDP; None if non-private."""

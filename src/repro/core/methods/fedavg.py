@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
+from repro.core.weighting import RoundParticipation
 
 
 class Default(FLMethod):
@@ -36,23 +37,51 @@ class Default(FLMethod):
         self.local_epochs = local_epochs
         self.batch_size = batch_size
 
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
+        """One FedAVG round, optionally under a participation roster.
+
+        Silo-level method: only ``silo_mask`` is honoured.  ``user_mask``
+        is ignored -- the baseline trains on whole silo datasets, so
+        departed users' records stay in (same documented limitation as
+        :class:`repro.core.methods.uldp_group.UldpGroup`).
+        """
         fed, _, _ = self._require_prepared()
+        if participation is not None and participation.n_active_silos == 0:
+            self.last_participation = ParticipationSummary(0, 0)
+            return params.copy()
+        active = (
+            None if participation is None else participation.silo_mask
+        )
+
+        def trains(s: int, silo) -> bool:
+            return silo.n_records > 0 and (active is None or active[s])
+
+        # Non-private baseline: dropped silos are simply excluded and the
+        # mean runs over the participating silos (survivor averaging).
+        denominator = (
+            fed.n_silos if participation is None else participation.n_active_silos
+        )
         if self.engine == "vectorized":
             jobs = [
                 self._local_job(silo.x, silo.y, self.local_epochs, self.batch_size)
-                for silo in fed.silos
-                if silo.n_records > 0
+                for s, silo in enumerate(fed.silos)
+                if trains(s, silo)
             ]
             deltas = self._local_deltas_batched(
                 params, jobs, self.local_lr, self.local_epochs
             )
-            # Empty silos contribute zero deltas; the mean is over all silos.
-            aggregate = deltas.sum(axis=0) / fed.n_silos
+            # Empty silos contribute zero deltas; the mean is over all
+            # (participating) silos.
+            aggregate = deltas.sum(axis=0) / denominator
         else:
             per_silo = []
-            for silo in fed.silos:
-                if silo.n_records == 0:
+            for s, silo in enumerate(fed.silos):
+                if not trains(s, silo):
                     per_silo.append(np.zeros_like(params))
                     continue
                 per_silo.append(
@@ -61,5 +90,18 @@ class Default(FLMethod):
                         self.batch_size,
                     )
                 )
-            aggregate = np.mean(per_silo, axis=0)
+            aggregate = np.sum(per_silo, axis=0) / denominator
+        self.last_participation = ParticipationSummary(
+            silos_seen=denominator,
+            users_seen=len(
+                set().union(
+                    *(
+                        set(silo.users_present().tolist())
+                        for s, silo in enumerate(fed.silos)
+                        if trains(s, silo)
+                    ),
+                    set(),
+                )
+            ),
+        )
         return params + self.global_lr * aggregate

@@ -30,9 +30,12 @@ import numpy as np
 from repro.accounting import PrivacyAccountant
 from repro.core.clipping import clip_factor, l2_clip
 from repro.core.engine import batched_clipped_local_deltas
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.weighting import (
+    RoundParticipation,
+    participation_weights,
     proportional_weights,
+    realised_sensitivity,
     subsample_weights,
     uniform_weights,
     validate_weights,
@@ -99,6 +102,12 @@ class UldpAvg(FLMethod):
         #: Per-round clipping factors (the alpha of Remark 4), populated
         #: only when record_clip_stats is set; used by the ablation bench.
         self.clip_factor_history: list[np.ndarray] = []
+        # Transient per-round participation state read by
+        # _compute_contributions (kept as attributes so the SecureUldpAvg
+        # subclass's override keeps its signature): which silos train and
+        # how many silos share the noise budget.
+        self._active_silo_mask: np.ndarray | None = None
+        self._noise_silos: int | None = None
 
     @property
     def display_name(self) -> str:
@@ -118,21 +127,67 @@ class UldpAvg(FLMethod):
                 fed.n_silos * np.sqrt(fed.n_users * self.local_epochs)
             )
 
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
         fed, _, rng = self._require_prepared()
         assert self.weights is not None
         q = self.user_sample_rate
 
+        if participation is None:
+            base_weights = self.weights
+            sensitivity, noise_scale = 1.0, 1.0
+        else:
+            active = participation.n_active_silos
+            if active == 0:
+                # Every silo is down: the round releases nothing and costs
+                # no budget (logged so the honesty report sees the gap).
+                self.last_participation = ParticipationSummary(0, 0)
+                self.accountant.step_release(
+                    self.noise_multiplier, sample_rate=q if q else 1.0,
+                    sensitivity=0.0, noise_scale=0.0,
+                )
+                return params.copy()
+            base_weights = participation_weights(self.weights, participation)
+            sensitivity = realised_sensitivity(base_weights)
+            self._active_silo_mask = participation.silo_mask
+            if participation.noise_rescale:
+                self._noise_silos = active
+                noise_scale = 1.0
+            else:
+                self._noise_silos = fed.n_silos
+                noise_scale = float(np.sqrt(active / fed.n_silos))
+
         if q is not None:
             sampled = np.where(rng.random(fed.n_users) < q)[0]
-            round_weights = subsample_weights(self.weights, sampled)
+            round_weights = subsample_weights(base_weights, sampled)
         else:
-            round_weights = self.weights
+            round_weights = base_weights
 
-        contributions, noises = self._compute_contributions(params, round_weights)
-        aggregate = self._aggregate(t, contributions, noises, round_weights)
+        try:
+            contributions, noises = self._compute_contributions(params, round_weights)
+            aggregate = self._aggregate(t, contributions, noises, round_weights)
+        finally:
+            self._active_silo_mask = None
+            self._noise_silos = None
 
-        self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
+        users_seen = {u for per_user in contributions for u in per_user}
+        self.last_participation = ParticipationSummary(
+            silos_seen=fed.n_silos if participation is None
+            else participation.n_active_silos,
+            users_seen=len(users_seen),
+        )
+
+        if participation is None:
+            self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
+        else:
+            self.accountant.step_release(
+                self.noise_multiplier, sample_rate=q if q else 1.0,
+                sensitivity=sensitivity, noise_scale=noise_scale,
+            )
         scale = fed.n_users * fed.n_silos * (q if q is not None else 1.0)
         assert self.global_lr is not None
         return params + self.global_lr * aggregate / scale
@@ -152,10 +207,12 @@ class UldpAvg(FLMethod):
         draw the same random stream and agree to floating-point precision.
         """
         fed, _, _ = self._require_prepared()
-        # Per-silo noise std sqrt(sigma^2 C^2 / |S|): summing |S| silo
-        # contributions yields aggregate noise std sigma * C, matching the
-        # user-level sensitivity C at noise multiplier sigma.
-        noise_std = self.noise_multiplier * self.clip / np.sqrt(fed.n_silos)
+        # Per-silo noise std sqrt(sigma^2 C^2 / A) where A is the number of
+        # noise-contributing silos (all of them outside the simulation):
+        # summing A silo contributions yields aggregate noise std sigma * C,
+        # matching the user-level sensitivity C at noise multiplier sigma.
+        noise_silos = self._noise_silos if self._noise_silos is not None else fed.n_silos
+        noise_std = self.noise_multiplier * self.clip / np.sqrt(noise_silos)
         factors = np.full((fed.n_silos, fed.n_users), np.nan)
 
         if self.engine == "vectorized":
@@ -178,11 +235,18 @@ class UldpAvg(FLMethod):
         noise_std: float,
         factors: np.ndarray,
     ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
-        """Per-user deltas one training run at a time (the legacy oracle)."""
+        """Per-user deltas one training run at a time (the legacy oracle).
+
+        Dropped silos (``self._active_silo_mask``) train nothing and draw
+        no noise, but keep an empty slot so silo indices stay aligned.
+        """
         fed, _, _ = self._require_prepared()
         contributions: list[dict[int, np.ndarray]] = []
         noises: list[np.ndarray] = []
         for s, silo in enumerate(fed.silos):
+            if self._active_silo_mask is not None and not self._active_silo_mask[s]:
+                contributions.append({})
+                continue
             per_user: dict[int, np.ndarray] = {}
             for user in silo.users_present():
                 if round_weights[s, user] == 0.0:
@@ -215,6 +279,9 @@ class UldpAvg(FLMethod):
         jobs, spans = [], []
         noises: list[np.ndarray] = []
         for s, silo in enumerate(fed.silos):
+            if self._active_silo_mask is not None and not self._active_silo_mask[s]:
+                spans.append([])
+                continue
             users = [int(u) for u in silo.users_present() if round_weights[s, u] != 0.0]
             for user in users:
                 x, y = silo.records_of_user(user)
@@ -273,6 +340,71 @@ class UldpAvg(FLMethod):
             weights = np.array([round_weights[s, user] for user in per_user])
             aggregate = aggregate + weights @ np.stack(list(per_user.values()))
         return aggregate
+
+    # -- per-silo step API (buffered-async simulation) -----------------------
+
+    def silo_contribution(
+        self,
+        t: int,
+        params: np.ndarray,
+        s: int,
+        round_weights: np.ndarray,
+        noise_std: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One silo's weighted noisy sum computed at (possibly stale) params.
+
+        The buffered-async policy calls this per silo with whatever global
+        params the silo last pulled; the scheduler later merges buffered
+        payloads with staleness weights.  ``noise_std`` is chosen by the
+        policy (e.g. ``sigma * C / sqrt(K)`` for buffer size K so a full
+        buffer carries total noise std ``sigma * C``).
+
+        Returns:
+            (payload, users, weights): the noisy weighted delta sum, the
+            contributing user ids, and their realised weights -- the last
+            two feed the merge-time sensitivity bookkeeping.
+        """
+        fed, model, _ = self._require_prepared()
+        silo = fed.silos[s]
+        users = [int(u) for u in silo.users_present() if round_weights[s, u] != 0.0]
+        weights = np.array([round_weights[s, u] for u in users], dtype=np.float64)
+        if self.engine == "vectorized":
+            jobs = [
+                self._local_job(
+                    *silo.records_of_user(u), self.local_epochs, self.batch_size
+                )
+                for u in users
+            ]
+            payload = self._gaussian_noise(noise_std, params.size)
+            if jobs:
+                clipped, _ = batched_clipped_local_deltas(
+                    model, fed.task, params, jobs,
+                    self.local_lr, self.local_epochs, self.clip,
+                )
+                payload = payload + weights @ clipped
+        else:
+            payload = np.zeros(params.size)
+            for w, u in zip(weights, users):
+                delta = self._local_delta(
+                    params, *silo.records_of_user(u),
+                    self.local_lr, self.local_epochs, self.batch_size,
+                )
+                payload += w * l2_clip(delta, self.clip)
+            payload += self._gaussian_noise(noise_std, params.size)
+        return payload, np.array(users, dtype=np.int64), weights
+
+    def apply_aggregate(
+        self, params: np.ndarray, aggregate: np.ndarray, n_updates: int
+    ) -> np.ndarray:
+        """Server update for an externally-merged aggregate (async policies).
+
+        Mirrors the synchronous server line ``x + eta_g * agg / (|U||S|)``
+        with the silo count replaced by the number of merged silo updates.
+        """
+        fed, _, _ = self._require_prepared()
+        assert self.global_lr is not None
+        scale = fed.n_users * max(n_updates, 1)
+        return params + self.global_lr * aggregate / scale
 
     def epsilon(self, delta: float) -> float:
         return self.accountant.get_epsilon(delta)

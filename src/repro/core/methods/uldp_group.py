@@ -21,8 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accounting import PrivacyAccountant
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.metrics import make_loss
+from repro.core.weighting import RoundParticipation
 from repro.data.federated import FederatedDataset
 from repro.nn.dpsgd import dpsgd_train
 
@@ -135,12 +136,31 @@ class UldpGroup(FLMethod):
         ]
         self.silo_accountants = [PrivacyAccountant() for _ in fed.silos]
 
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
+        """One round of per-silo DP-SGD.
+
+        Partial participation skips the dropped silos entirely -- their
+        per-silo accountants do not advance, so the parallel-composition
+        maximum of Theorem 2 stays honest.  User churn (``user_mask``) is
+        not modelled here: the contribution-bounding flags B are fixed at
+        prepare time, so departed users' records remain in the silo
+        datasets (documented limitation of the group baseline).
+        """
         fed, model, rng = self._require_prepared()
         assert self.filtered is not None
+        if participation is not None and participation.n_active_silos == 0:
+            self.last_participation = ParticipationSummary(0, 0)
+            return params.copy()
+        active = None if participation is None else participation.silo_mask
+        users_seen: set[int] = set()
         deltas = []
         for s, silo in enumerate(self.filtered.silos):
-            if silo.n_records == 0:
+            if (active is not None and not active[s]) or silo.n_records == 0:
                 deltas.append(np.zeros_like(params))
                 continue
             local = model.clone()
@@ -162,9 +182,14 @@ class UldpGroup(FLMethod):
                 engine=self.engine,
             )
             deltas.append(local.get_flat_params() - params)
+            users_seen.update(int(u) for u in silo.users_present())
             self.silo_accountants[s].step(
                 self.noise_multiplier, self.sample_rates[s], self.local_steps
             )
+        n_active = fed.n_silos if active is None else int(active.sum())
+        self.last_participation = ParticipationSummary(
+            silos_seen=n_active, users_seen=len(users_seen)
+        )
         return params + self.global_lr * np.mean(deltas, axis=0)
 
     def epsilon(self, delta: float) -> float:

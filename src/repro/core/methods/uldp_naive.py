@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.accounting import PrivacyAccountant
 from repro.core.clipping import l2_clip, l2_clip_rows
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
+from repro.core.weighting import RoundParticipation
 
 
 class UldpNaive(FLMethod):
@@ -50,20 +51,46 @@ class UldpNaive(FLMethod):
         self.batch_size = batch_size
         self.accountant = PrivacyAccountant()
 
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
+        """One ULDP-NAIVE round, optionally under a participation roster.
+
+        Silo-level method: only ``silo_mask`` is honoured; ``user_mask``
+        is ignored because silos clip and ship their *whole* delta (the
+        same documented limitation as ULDP-GROUP).
+        """
         fed, _, _ = self._require_prepared()
         n_silos = fed.n_silos
-        # Per-silo noise std: sqrt(sigma^2 C^2 |S|).  Summed over |S| silos
-        # the aggregate noise has std sigma * C * |S|, matching the
-        # user-level sensitivity C * |S| at noise multiplier sigma.
-        noise_std = self.noise_multiplier * self.clip * np.sqrt(n_silos)
+        if participation is not None and participation.n_active_silos == 0:
+            self.last_participation = ParticipationSummary(0, 0)
+            self.accountant.step_release(
+                self.noise_multiplier, sensitivity=0.0, noise_scale=0.0
+            )
+            return params.copy()
+        active = None if participation is None else participation.silo_mask
+        # With A participating silos the user-level sensitivity is C * A
+        # and each silo uses noise std sqrt(sigma^2 C^2 A): the aggregate
+        # noise std sigma * C * A matches that sensitivity at noise
+        # multiplier sigma, exactly as in the full-participation Theorem 1
+        # (where A = |S|).  Dropout therefore leaves epsilon unchanged.
+        n_active = n_silos if active is None else int(active.sum())
+        noise_std = self.noise_multiplier * self.clip * np.sqrt(n_active)
+
+        def is_active(s: int) -> bool:
+            return active is None or bool(active[s])
 
         if self.engine == "vectorized":
             # Pre-draw each silo's minibatch schedule and noise in the same
             # order the loop path consumes them, then train every silo in
             # one batched run.
             jobs, noises = [], []
-            for silo in fed.silos:
+            for s, silo in enumerate(fed.silos):
+                if not is_active(s):
+                    continue
                 if silo.n_records > 0:
                     jobs.append(
                         self._local_job(
@@ -79,7 +106,9 @@ class UldpNaive(FLMethod):
                 aggregate = aggregate + np.sum(noises, axis=0)
         else:
             aggregate = np.zeros_like(params)
-            for silo in fed.silos:
+            for s, silo in enumerate(fed.silos):
+                if not is_active(s):
+                    continue
                 if silo.n_records > 0:
                     delta = self._local_delta(
                         params, silo.x, silo.y, self.local_lr, self.local_epochs,
@@ -88,8 +117,22 @@ class UldpNaive(FLMethod):
                     aggregate += l2_clip(delta, self.clip)
                 aggregate += self._gaussian_noise(noise_std, params.size)
 
-        self.accountant.step(self.noise_multiplier)
-        return params + self.global_lr * aggregate / n_silos
+        self.last_participation = ParticipationSummary(
+            silos_seen=n_active,
+            users_seen=len(
+                {
+                    int(u)
+                    for s, silo in enumerate(fed.silos)
+                    if is_active(s)
+                    for u in silo.users_present()
+                }
+            ),
+        )
+        if participation is None:
+            self.accountant.step(self.noise_multiplier)
+        else:
+            self.accountant.step_release(self.noise_multiplier)
+        return params + self.global_lr * aggregate / n_active
 
     def epsilon(self, delta: float) -> float:
         return self.accountant.get_epsilon(delta)

@@ -16,9 +16,12 @@ import numpy as np
 from repro.accounting import PrivacyAccountant
 from repro.core.clipping import l2_clip, l2_clip_rows
 from repro.core.engine import LocalJob
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.weighting import (
+    RoundParticipation,
+    participation_weights,
     proportional_weights,
+    realised_sensitivity,
     subsample_weights,
     uniform_weights,
     validate_weights,
@@ -72,18 +75,48 @@ class UldpSgd(FLMethod):
             # damped by the usual SGD step size.
             self.global_lr = float(fed.n_silos * np.sqrt(fed.n_users)) * 0.5
 
-    def round(self, t: int, params: np.ndarray) -> np.ndarray:
+    def round(
+        self,
+        t: int,
+        params: np.ndarray,
+        participation: RoundParticipation | None = None,
+    ) -> np.ndarray:
         fed, _, rng = self._require_prepared()
         assert self.weights is not None
         q = self.user_sample_rate
 
+        if participation is None:
+            base_weights = self.weights
+            active_mask = None
+            noise_silos = fed.n_silos
+            sensitivity, noise_scale = 1.0, 1.0
+        else:
+            active = participation.n_active_silos
+            if active == 0:
+                self.last_participation = ParticipationSummary(0, 0)
+                self.accountant.step_release(
+                    self.noise_multiplier, sample_rate=q if q else 1.0,
+                    sensitivity=0.0, noise_scale=0.0,
+                )
+                return params.copy()
+            base_weights = participation_weights(self.weights, participation)
+            sensitivity = realised_sensitivity(base_weights)
+            active_mask = participation.silo_mask
+            if participation.noise_rescale:
+                noise_silos = active
+                noise_scale = 1.0
+            else:
+                noise_silos = fed.n_silos
+                noise_scale = float(np.sqrt(active / fed.n_silos))
+
         if q is not None:
             sampled = np.where(rng.random(fed.n_users) < q)[0]
-            round_weights = subsample_weights(self.weights, sampled)
+            round_weights = subsample_weights(base_weights, sampled)
         else:
-            round_weights = self.weights
+            round_weights = base_weights
 
-        noise_std = self.noise_multiplier * self.clip / np.sqrt(fed.n_silos)
+        noise_std = self.noise_multiplier * self.clip / np.sqrt(noise_silos)
+        users_seen: set[int] = set()
         aggregate = np.zeros_like(params)
         if self.engine == "vectorized":
             # One batched gradient pass over every (silo, user) pair; the
@@ -91,12 +124,15 @@ class UldpSgd(FLMethod):
             # in the loop path's per-silo order.
             jobs, weights = [], []
             for s, silo in enumerate(fed.silos):
+                if active_mask is not None and not active_mask[s]:
+                    continue
                 for user in silo.users_present():
                     w = round_weights[s, user]
                     if w == 0.0:
                         continue
                     jobs.append(LocalJob(*silo.records_of_user(int(user))))
                     weights.append(w)
+                    users_seen.add(int(user))
             if jobs:
                 grads = self._gradients_batched(params, jobs)
                 # Negated: the shared server update adds the aggregate, so
@@ -104,10 +140,14 @@ class UldpSgd(FLMethod):
                 np.negative(grads, out=grads)
                 clipped = l2_clip_rows(grads, self.clip, out=grads)
                 aggregate = aggregate + np.asarray(weights) @ clipped
-            for _ in fed.silos:
+            for s in range(fed.n_silos):
+                if active_mask is not None and not active_mask[s]:
+                    continue
                 aggregate += self._gaussian_noise(noise_std, params.size)
         else:
             for s, silo in enumerate(fed.silos):
+                if active_mask is not None and not active_mask[s]:
+                    continue
                 for user in silo.users_present():
                     w = round_weights[s, user]
                     if w == 0.0:
@@ -115,9 +155,21 @@ class UldpSgd(FLMethod):
                     x, y = silo.records_of_user(int(user))
                     grad = self._gradient(params, x, y)
                     aggregate += w * l2_clip(-grad, self.clip)
+                    users_seen.add(int(user))
                 aggregate += self._gaussian_noise(noise_std, params.size)
 
-        self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
+        self.last_participation = ParticipationSummary(
+            silos_seen=noise_silos if participation is None
+            else participation.n_active_silos,
+            users_seen=len(users_seen),
+        )
+        if participation is None:
+            self.accountant.step(self.noise_multiplier, sample_rate=q if q else 1.0)
+        else:
+            self.accountant.step_release(
+                self.noise_multiplier, sample_rate=q if q else 1.0,
+                sensitivity=sensitivity, noise_scale=noise_scale,
+            )
         scale = fed.n_users * fed.n_silos * (q if q is not None else 1.0)
         assert self.global_lr is not None
         return params + self.global_lr * aggregate / scale

@@ -5,6 +5,14 @@ The :class:`Trainer` wires a dataset, a model, and an
 global model, runs T rounds, evaluates on the held-out test split, and
 queries the method's privacy accountant -- producing exactly the
 (utility, epsilon)-vs-round series plotted in the paper's Figures 4-9.
+
+The round loop is exposed as a scheduler-driven step API: :meth:`Trainer.step`
+advances one round (optionally under a
+:class:`repro.core.weighting.RoundParticipation` roster) and
+:meth:`Trainer.apply_external_round` records a round whose aggregation
+happened outside the method (the buffered-async policy of
+:mod:`repro.sim`).  :meth:`Trainer.run` is the plain synchronous driver,
+bit-identical to the pre-simulation loop.
 """
 
 from __future__ import annotations
@@ -14,8 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.methods.base import FLMethod
+from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.metrics import evaluate_model, metric_name
+from repro.core.weighting import RoundParticipation
 from repro.data.federated import FederatedDataset
 from repro.nn.model import (
     Sequential,
@@ -49,6 +58,17 @@ class RoundRecord:
     epsilon: float | None
 
 
+@dataclass(frozen=True)
+class ParticipationRecord:
+    """Realised participation of one training round (all rounds logged)."""
+
+    round: int
+    #: Silos whose update (or noise share) entered this round's aggregate.
+    silos_seen: int
+    #: Distinct users whose records influenced this round's aggregate.
+    users_seen: int
+
+
 @dataclass
 class TrainingHistory:
     """Round-by-round metrics, one record per evaluated round."""
@@ -59,11 +79,22 @@ class TrainingHistory:
     #: Wall-clock seconds spent in each ``method.round`` call (all rounds,
     #: evaluated or not) -- the engine benchmarks read this.
     round_seconds: list[float] = field(default_factory=list)
+    #: Per-round participation (all rounds, evaluated or not); under the
+    #: plain trainer every round sees the full federation.
+    participation: list[ParticipationRecord] = field(default_factory=list)
 
     @property
     def total_round_seconds(self) -> float:
         """Total wall-clock time spent inside ``method.round`` calls."""
         return float(sum(self.round_seconds))
+
+    def participation_summary(self) -> tuple[float, float] | None:
+        """Mean (silos, users) seen per round, or None when never recorded."""
+        if not self.participation:
+            return None
+        silos = [p.silos_seen for p in self.participation]
+        users = [p.users_seen for p in self.participation]
+        return float(np.mean(silos)), float(np.mean(users))
 
     @property
     def final(self) -> RoundRecord:
@@ -87,7 +118,15 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Runs one FL method for T rounds on a federated dataset."""
+    """Runs one FL method for T rounds on a federated dataset.
+
+    The trainer is a stateful round stepper: :attr:`params`,
+    :attr:`history`, and the round counter advance with every
+    :meth:`step` / :meth:`apply_external_round` call, and :meth:`run`
+    simply steps until all rounds are done.  External schedulers (the
+    :mod:`repro.sim` runtime) drive the same API with per-round
+    participation rosters.
+    """
 
     def __init__(
         self,
@@ -113,30 +152,110 @@ class Trainer:
         self.rng = np.random.default_rng(seed)
         self.model = model if model is not None else default_model_for(fed, self.rng)
         method.prepare(fed, self.model, self.rng)
+        label = getattr(method, "display_name", method.name)
+        self.history = TrainingHistory(method=label, dataset=fed.name)
+        self._params: np.ndarray = self.model.get_flat_params()
+        self._round = 0
+
+    @property
+    def params(self) -> np.ndarray:
+        """The current flat global parameter vector."""
+        return self._params
+
+    @property
+    def round_index(self) -> int:
+        """Number of rounds completed so far."""
+        return self._round
+
+    @property
+    def done(self) -> bool:
+        """Whether all configured rounds have run."""
+        return self._round >= self.rounds
+
+    def step(
+        self, participation: RoundParticipation | None = None
+    ) -> RoundRecord | None:
+        """Advance one round; returns the evaluation record if one was due.
+
+        ``participation`` restricts the round's roster (None = everyone).
+        """
+        if self.done:
+            raise RuntimeError("all rounds already completed")
+        t = self._round
+        start = time.perf_counter()
+        self._params = self.method.round(t, self._params, participation)
+        seconds = time.perf_counter() - start
+        return self._finish_round(seconds, participation)
+
+    def apply_external_round(
+        self,
+        params: np.ndarray,
+        seconds: float = 0.0,
+        participation_summary: ParticipationSummary | None = None,
+    ) -> RoundRecord | None:
+        """Record a round whose aggregation ran outside the method.
+
+        Async policies merge buffered silo payloads themselves and hand the
+        resulting params here so history/evaluation bookkeeping stays in
+        one place.  ``participation_summary`` overrides the method's
+        ``last_participation`` for the participation log.
+        """
+        if self.done:
+            raise RuntimeError("all rounds already completed")
+        self._params = params
+        if participation_summary is not None:
+            self.method.last_participation = participation_summary
+        return self._finish_round(seconds, participation=None)
+
+    def _finish_round(
+        self, seconds: float, participation: RoundParticipation | None
+    ) -> RoundRecord | None:
+        """Shared bookkeeping after a round: logs, counter, evaluation."""
+        t = self._round
+        self.history.round_seconds.append(seconds)
+        self.history.participation.append(self._participation_record(t, participation))
+        self._round += 1
+        record = None
+        if self._round % self.eval_every == 0 or self._round == self.rounds:
+            record = self._evaluate()
+        if self.done:
+            self.model.set_flat_params(self._params)
+        return record
+
+    def _participation_record(
+        self, t: int, participation: RoundParticipation | None
+    ) -> ParticipationRecord:
+        """The round's realised participation (method-reported when known)."""
+        summary = self.method.last_participation
+        if summary is not None:
+            return ParticipationRecord(t + 1, summary.silos_seen, summary.users_seen)
+        # Methods predating the participation API under full rosters: the
+        # whole federation was eligible.
+        if participation is None:
+            return ParticipationRecord(t + 1, self.fed.n_silos, self.fed.n_users)
+        return ParticipationRecord(
+            t + 1, participation.n_active_silos, self.fed.n_users
+        )
+
+    def _evaluate(self) -> RoundRecord:
+        """Evaluate the current params; appends and returns the record."""
+        self.model.set_flat_params(self._params)
+        scores = evaluate_model(self.fed, self.model)
+        name = metric_name(self.fed.task)
+        record = RoundRecord(
+            round=self._round,
+            metric_name=name,
+            metric=scores[name],
+            loss=scores["loss"],
+            epsilon=self.method.epsilon(self.delta)
+            if self.method.is_private
+            else None,
+        )
+        self.history.records.append(record)
+        return record
 
     def run(self) -> TrainingHistory:
-        """Run all rounds; returns the metric/epsilon history."""
-        label = getattr(self.method, "display_name", self.method.name)
-        history = TrainingHistory(method=label, dataset=self.fed.name)
-        params = self.model.get_flat_params()
-        for t in range(self.rounds):
-            start = time.perf_counter()
-            params = self.method.round(t, params)
-            history.round_seconds.append(time.perf_counter() - start)
-            if (t + 1) % self.eval_every == 0 or t == self.rounds - 1:
-                self.model.set_flat_params(params)
-                scores = evaluate_model(self.fed, self.model)
-                name = metric_name(self.fed.task)
-                history.records.append(
-                    RoundRecord(
-                        round=t + 1,
-                        metric_name=name,
-                        metric=scores[name],
-                        loss=scores["loss"],
-                        epsilon=self.method.epsilon(self.delta)
-                        if self.method.is_private
-                        else None,
-                    )
-                )
-        self.model.set_flat_params(params)
-        return history
+        """Run all remaining rounds; returns the metric/epsilon history."""
+        while not self.done:
+            self.step()
+        return self.history

@@ -12,11 +12,24 @@ Two strategies from the paper:
 - :func:`proportional_weights` -- Eq. (3): ``w[s, u] = n[s, u] / N_u``,
   favouring the silos where the user has more records (smaller clipping
   bias, see Remark 4).  Computing it privately is the job of Protocol 1.
+
+Partial participation (the :mod:`repro.sim` runtime) perturbs W per round:
+dropped silos and departed users contribute nothing, and the surviving
+weights may be renormalised.  :class:`RoundParticipation` carries one
+round's roster and :func:`participation_weights` produces the *realised*
+weight matrix, whose maximum column sum is the round's true sensitivity
+multiplier (``realised_sensitivity``) -- the quantity the accountant must
+see for epsilon under dropout to be honest.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+#: Weight renormalisation strategies under partial participation.
+RENORMS = ("none", "survivors", "carryover")
 
 
 def uniform_weights(n_silos: int, n_users: int) -> np.ndarray:
@@ -71,3 +84,108 @@ def subsample_weights(
     mask[np.asarray(sampled_users, dtype=np.int64)] = True
     w[:, ~mask] = 0.0
     return w
+
+
+# -- partial participation ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoundParticipation:
+    """One round's federation roster under partial participation.
+
+    Attributes:
+        silo_mask: boolean (|S|,) -- True for silos contributing this round
+            (survivors of dropout, silos that met the deadline, ...).
+        user_mask: boolean (|U|,) of currently-active users, or None for
+            all users (no churn).
+        silo_gain: optional (|S|,) carryover multipliers applied to the
+            surviving silos' weights (``renorm="carryover"``: a silo that
+            missed g-1 rounds re-enters with gain g so its users' missed
+            weight is made up).  Gains above one raise the round's
+            sensitivity; :func:`realised_sensitivity` reports that.
+        renorm: one of :data:`RENORMS`.  ``"none"`` keeps the surviving
+            weights as-is (column sums shrink under dropout -- unbiased
+            noise accounting, biased aggregate); ``"survivors"`` rescales
+            each user's surviving weights so the column sum is restored to
+            its full-participation value (unbiased aggregate, sensitivity
+            still <= C); ``"carryover"`` applies ``silo_gain``.
+        noise_rescale: when True (default) the surviving silos inflate
+            their per-silo noise to ``sigma * C / sqrt(A)`` (A = number of
+            noise-contributing silos) so the summed noise keeps std
+            ``sigma * C``; when False silos keep the nominal
+            ``sigma * C / sqrt(|S|)`` share and the accountant is charged
+            the reduced ``sqrt(A / |S|)`` noise scale instead.
+    """
+
+    silo_mask: np.ndarray
+    user_mask: np.ndarray | None = None
+    silo_gain: np.ndarray | None = None
+    renorm: str = "none"
+    noise_rescale: bool = True
+
+    def __post_init__(self):
+        if self.renorm not in RENORMS:
+            raise ValueError(f"renorm must be one of {RENORMS}")
+        object.__setattr__(
+            self, "silo_mask", np.asarray(self.silo_mask, dtype=bool)
+        )
+        if self.user_mask is not None:
+            object.__setattr__(
+                self, "user_mask", np.asarray(self.user_mask, dtype=bool)
+            )
+        if self.silo_gain is not None:
+            gain = np.asarray(self.silo_gain, dtype=np.float64)
+            if np.any(gain < 0):
+                raise ValueError("silo gains must be non-negative")
+            object.__setattr__(self, "silo_gain", gain)
+
+    @property
+    def n_active_silos(self) -> int:
+        """Number of silos contributing to this round's aggregate."""
+        return int(self.silo_mask.sum())
+
+    @classmethod
+    def full(cls, n_silos: int, n_users: int | None = None) -> "RoundParticipation":
+        """Everyone participates (the idealised setting of the paper)."""
+        return cls(silo_mask=np.ones(n_silos, dtype=bool))
+
+
+def participation_weights(
+    weights: np.ndarray, participation: RoundParticipation
+) -> np.ndarray:
+    """The realised weight matrix of one partial-participation round.
+
+    Masks dropped silos' rows and departed users' columns, then applies the
+    participation's renormalisation strategy.  Under full participation
+    every strategy returns the input weights bit-exactly (the survivor
+    rescaling factor is exactly 1.0), which is what makes the synchronous
+    zero-dropout policy an oracle for the plain trainer.
+    """
+    w = np.array(weights, dtype=np.float64, copy=True)
+    if participation.user_mask is not None:
+        w[:, ~participation.user_mask] = 0.0
+    masked_users = w  # silo rows still intact: the renorm baseline
+    w = w.copy()
+    w[~participation.silo_mask, :] = 0.0
+    if participation.renorm == "survivors":
+        surviving = w.sum(axis=0)
+        target = masked_users.sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            factor = np.where(surviving > 0, target / np.where(surviving > 0, surviving, 1.0), 0.0)
+        w = w * factor
+    elif participation.renorm == "carryover" and participation.silo_gain is not None:
+        w = w * participation.silo_gain[:, None]
+    return w
+
+
+def realised_sensitivity(realised_weights: np.ndarray) -> float:
+    """Max per-user weight sum -- the round's sensitivity in units of C.
+
+    Under the Theorem 3 constraint this is at most 1; carryover gains can
+    push it above 1, and the accountant must then divide the round's
+    effective noise multiplier by this factor for epsilon to stay honest.
+    """
+    w = np.asarray(realised_weights, dtype=np.float64)
+    if w.size == 0:
+        return 0.0
+    return float(w.sum(axis=0).max(initial=0.0))

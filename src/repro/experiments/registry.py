@@ -197,6 +197,45 @@ def fig06_heartdisease(scale: str, seed: int) -> ExperimentResult:
     return result
 
 
+# -- Simulation scenarios ------------------------------------------------------
+
+
+def sim01_participation(scale: str, seed: int) -> ExperimentResult:
+    """Participation-dynamics scenario sweep (the repro.sim runtime).
+
+    Runs every named scenario of :mod:`repro.sim.scenarios` at the given
+    scale and tabulates final utility, honest epsilon, mean per-round
+    participation, and the worst-case realised sensitivity -- the table
+    showing what silo dropout, stragglers, churn, and async aggregation
+    cost relative to the ``ideal-sync`` oracle.
+    """
+    from repro.sim import available_scenarios, run_scenario
+
+    _scale_params(scale)  # validate the scale tier
+    result = ExperimentResult(
+        name="sim01",
+        description=f"participation dynamics scenario sweep (scale={scale})",
+    )
+    for name in available_scenarios():
+        sim = run_scenario(name, scale=scale, seed=seed)
+        final = sim.history.final
+        summary = sim.history.participation_summary()
+        assert summary is not None
+        releases = sim.method.accountant.releases
+        worst = max((r.sensitivity for r in releases), default=1.0)
+        result.rows.append(
+            {
+                "scenario": name,
+                "metric": final.metric,
+                "epsilon": final.epsilon,
+                "mean_silos": summary[0],
+                "mean_users": summary[1],
+                "max_sensitivity": worst,
+            }
+        )
+    return result
+
+
 # -- Figure 12 -----------------------------------------------------------------
 
 
@@ -233,6 +272,7 @@ _REGISTRY: dict[str, tuple[str, Callable[[str, int], ExperimentResult]]] = {
     "fig08": ("weighting strategies under skew", fig08_weighting),
     "fig09": ("user-level sub-sampling sweep", fig09_subsampling),
     "fig12": ("record allocation statistics", fig12_allocation),
+    "sim01": ("participation dynamics scenario sweep", sim01_participation),
 }
 
 

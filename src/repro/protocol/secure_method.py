@@ -112,6 +112,20 @@ class SecureUldpAvg(UldpAvg):
             assert seed is not None
             self.subsampler = PrivateSubsampler(seed, self.private_subsampling_slots)
 
+    def round(self, t, params, participation=None):
+        """Protocol 1 rounds require the full roster.
+
+        The encrypted per-user weights are fixed at setup; silo dropout
+        would desynchronise the blinding-mask cancellation.  Simulate
+        partial participation with the plaintext :class:`UldpAvg` instead.
+        """
+        if participation is not None:
+            raise NotImplementedError(
+                "SecureUldpAvg does not support partial participation; "
+                "simulate dropout with the plaintext UldpAvg"
+            )
+        return super().round(t, params)
+
     def _compute_contributions(self, params, round_weights):
         """Silos must not learn the sub-sampling outcome (Protocol 1).
 

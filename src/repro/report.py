@@ -13,7 +13,7 @@ import json
 import math
 from pathlib import Path
 
-from repro.core.trainer import RoundRecord, TrainingHistory
+from repro.core.trainer import ParticipationRecord, RoundRecord, TrainingHistory
 
 #: Characters for one-line sparklines, low to high.
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -97,16 +97,24 @@ def histories_chart(
 
 
 def comparison_table(histories: list[TrainingHistory]) -> str:
-    """Final-round comparison with sparkline trajectories."""
+    """Final-round comparison with sparkline trajectories.
+
+    The ``seen`` column reports the mean per-round participation as
+    ``<silos>s/<users>u`` (who actually contributed under dropout/churn);
+    histories recorded before the participation log show ``-``.
+    """
     lines = [
-        f"{'method':<24s} {'metric':>8s} {'loss':>10s} {'eps':>10s}  trajectory"
+        f"{'method':<24s} {'metric':>8s} {'loss':>10s} {'eps':>10s} "
+        f"{'seen':>12s}  trajectory"
     ]
     for h in histories:
         f = h.final
         eps = "   (none)" if f.epsilon is None else f"{f.epsilon:10.3f}"
+        summary = h.participation_summary()
+        seen = "-" if summary is None else f"{summary[0]:.1f}s/{summary[1]:.1f}u"
         lines.append(
-            f"{h.method:<24s} {f.metric:8.4f} {f.loss:10.4f} {eps:>10s}  "
-            f"{sparkline(h.series('metric'))}"
+            f"{h.method:<24s} {f.metric:8.4f} {f.loss:10.4f} {eps:>10s} "
+            f"{seen:>12s}  {sparkline(h.series('metric'))}"
         )
     return "\n".join(lines)
 
@@ -115,8 +123,12 @@ def comparison_table(histories: list[TrainingHistory]) -> str:
 
 
 def history_to_dict(history: TrainingHistory) -> dict:
-    """Plain-dict form of a history (stable schema, version-tagged)."""
-    return {
+    """Plain-dict form of a history (stable schema, version-tagged).
+
+    The participation log rides along under an optional key, so archives
+    written by older versions (without it) still load.
+    """
+    data = {
         "schema": "uldp-fl-history/v1",
         "method": history.method,
         "dataset": history.dataset,
@@ -131,6 +143,12 @@ def history_to_dict(history: TrainingHistory) -> dict:
             for r in history.records
         ],
     }
+    if history.participation:
+        data["participation"] = [
+            {"round": p.round, "silos_seen": p.silos_seen, "users_seen": p.users_seen}
+            for p in history.participation
+        ]
+    return data
 
 
 def history_from_dict(data: dict) -> TrainingHistory:
@@ -146,6 +164,14 @@ def history_from_dict(data: dict) -> TrainingHistory:
                 metric=float(r["metric"]),
                 loss=float(r["loss"]),
                 epsilon=None if r["epsilon"] is None else float(r["epsilon"]),
+            )
+        )
+    for p in data.get("participation", []):
+        history.participation.append(
+            ParticipationRecord(
+                round=int(p["round"]),
+                silos_seen=int(p["silos_seen"]),
+                users_seen=int(p["users_seen"]),
             )
         )
     return history

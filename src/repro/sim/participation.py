@@ -1,0 +1,142 @@
+"""Participation dynamics: silo dropout, straggler latency, user churn.
+
+Everything here is a small deterministic-given-rng model the scheduler
+queries once per round:
+
+- dropout models answer "which silos are up this round?"
+- latency models answer "how long does each silo's local work take?"
+  (abstract time units; the semi-synchronous policy compares them to its
+  deadline, the async policy uses them to order completion events);
+- :class:`ChurnProcess` drives arrivals/departures on a
+  :class:`repro.sim.population.ShardedUserPopulation`.
+
+All models draw exclusively from the rng handed in, so a checkpoint that
+restores the scheduler's rng state resumes the exact same dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.population import ShardedUserPopulation
+
+
+# -- silo dropout --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoDropout:
+    """Every silo is up every round (the idealised paper setting)."""
+
+    def draw(self, t: int, n_silos: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean up-mask for round ``t``."""
+        return np.ones(n_silos, dtype=bool)
+
+
+@dataclass(frozen=True)
+class IidSiloDropout:
+    """Each silo independently crashes this round with probability p."""
+
+    prob: float
+
+    def __post_init__(self):
+        if not 0 <= self.prob < 1:
+            raise ValueError("dropout probability must lie in [0, 1)")
+
+    def draw(self, t: int, n_silos: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean up-mask for round ``t`` (True = silo participates)."""
+        return rng.random(n_silos) >= self.prob
+
+
+@dataclass(frozen=True)
+class SiloOutageWindows:
+    """Scheduled outages: silo s is down for rounds ``windows[s] = (a, b)``.
+
+    Rounds are half-open: the silo misses rounds a, a+1, ..., b-1.  Models
+    maintenance windows / regional incidents rather than random churn.
+    """
+
+    windows: dict[int, tuple[int, int]]
+
+    def draw(self, t: int, n_silos: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean up-mask for round ``t``."""
+        mask = np.ones(n_silos, dtype=bool)
+        for silo, (start, stop) in self.windows.items():
+            if 0 <= silo < n_silos and start <= t < stop:
+                mask[silo] = False
+        return mask
+
+
+# -- straggler latency ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoLatency:
+    """All silos finish instantly (latency 0 -- never misses a deadline)."""
+
+    def draw(self, t: int, n_silos: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-silo completion latencies for round ``t``."""
+        return np.zeros(n_silos)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency:
+    """Heavy-tailed straggler latencies, optionally skewed per silo.
+
+    ``exp(N(mu, sigma^2))`` scaled by the silo's speed factor: the classic
+    straggler model -- most silos cluster near ``exp(mu)``, a few take
+    multiples of it.  ``silo_speed[s]`` (default all ones) multiplies silo
+    s's latency, modelling persistently slow sites.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.5
+    silo_speed: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if self.median <= 0:
+            raise ValueError("median latency must be positive")
+        if self.sigma < 0:
+            raise ValueError("latency sigma must be non-negative")
+
+    def draw(self, t: int, n_silos: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-silo completion latencies for round ``t``."""
+        lat = self.median * np.exp(rng.normal(0.0, self.sigma, size=n_silos))
+        if self.silo_speed is not None:
+            speed = np.asarray(self.silo_speed, dtype=np.float64)
+            if len(speed) != n_silos:
+                raise ValueError("need one speed factor per silo")
+            lat = lat * speed
+        return lat
+
+
+# -- user churn ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnProcess:
+    """Per-round user arrival/departure rates applied to a population.
+
+    Departures remove active users (their weights are zeroed through the
+    round's ``user_mask``); arrivals re-activate departed users.  The rates
+    are per-user per-round probabilities.
+    """
+
+    departure_rate: float = 0.0
+    arrival_rate: float = 0.0
+
+    def __post_init__(self):
+        if not 0 <= self.departure_rate <= 1 or not 0 <= self.arrival_rate <= 1:
+            raise ValueError("churn rates must lie in [0, 1]")
+
+    def step(
+        self, population: ShardedUserPopulation, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Advance churn one round; returns realised (arrivals, departures)."""
+        return population.apply_churn(
+            rng,
+            departure_rate=self.departure_rate,
+            arrival_rate=self.arrival_rate,
+        )

@@ -1,0 +1,82 @@
+"""Aggregation policies: synchronous, semi-synchronous, buffered-async.
+
+A policy decides *when* the server releases an aggregate and *whose*
+updates enter it:
+
+- :class:`SyncPolicy` -- the oracle: the server waits for every up silo,
+  however slow.  With zero dropout this reproduces the plain
+  :class:`repro.core.Trainer` bit-for-bit.
+- :class:`SemiSyncPolicy` -- the server closes the round at a fixed
+  deadline; up silos whose latency exceeds it are excluded (stragglers are
+  dropped, not crashed -- they are back next round).
+- :class:`BufferedAsyncPolicy` -- FedBuff-style: silos compute against
+  whatever global params they last pulled; the server buffers finished
+  updates and releases a staleness-weighted merge every ``buffer_size``
+  arrivals.  :func:`staleness_weight` is the polynomial discount
+  ``(1 + staleness) ** -exponent`` applied to a payload computed
+  ``staleness`` versions ago.
+
+The scheduler (:mod:`repro.sim.scheduler`) owns the event loop; policies
+are pure configuration plus the staleness discount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def staleness_weight(staleness: int, exponent: float = 0.5) -> float:
+    """Polynomial staleness discount ``(1 + staleness) ** -exponent``.
+
+    Staleness counts how many global model versions were released between
+    the params a payload was computed against and the merge; fresh updates
+    (staleness 0) keep weight 1.
+    """
+    if staleness < 0:
+        raise ValueError("staleness must be non-negative")
+    if exponent < 0:
+        raise ValueError("staleness exponent must be non-negative")
+    return float((1.0 + staleness) ** -exponent)
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """Wait for all surviving silos, however late (the oracle policy)."""
+
+    name: str = "sync"
+
+
+@dataclass(frozen=True)
+class SemiSyncPolicy:
+    """Close each round at ``deadline``; late silos sit the round out."""
+
+    deadline: float = 1.5
+    name: str = "semi-sync"
+
+    def __post_init__(self):
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+@dataclass(frozen=True)
+class BufferedAsyncPolicy:
+    """FedBuff-style buffered asynchronous aggregation.
+
+    The server releases once every ``buffer_size`` silo completions, each
+    payload discounted by :func:`staleness_weight` at ``staleness_exponent``.
+    ``max_staleness`` drops payloads older than that many versions outright
+    (their silos immediately restart from fresh params).
+    """
+
+    buffer_size: int = 3
+    staleness_exponent: float = 0.5
+    max_staleness: int = 16
+    name: str = "async"
+
+    def __post_init__(self):
+        if self.buffer_size < 1:
+            raise ValueError("buffer size must be positive")
+        if self.staleness_exponent < 0:
+            raise ValueError("staleness exponent must be non-negative")
+        if self.max_staleness < 1:
+            raise ValueError("max staleness must be positive")

@@ -1,0 +1,347 @@
+"""Sharded, lazily-materialised user populations (millions of users).
+
+The cross-silo *training* datasets of the paper have hundreds of users, but
+the ROADMAP's target deployments track federations of millions -- far more
+state than should ever be resident eagerly.  :class:`ShardedUserPopulation`
+keeps two allocation arrays per user -- an activity flag and a Zipf record
+count -- split into fixed-size shards that are materialised only when first
+touched, each backed by a memory-mapped file so a million-user federation
+costs a few file handles until (and unless) the simulation looks at it.
+
+Churn (user arrivals and departures) mutates the activity flags in place
+through :meth:`ShardedUserPopulation.apply_churn`; the per-shard active
+counters make global statistics O(#shards).  Checkpointing serialises only
+the materialised shards (:meth:`state_dict` / :meth:`load_state`), so a
+resumed simulation sees bit-identical population state.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+#: Default users per shard (2**18 = 262144: a 1M-user population is 4 shards).
+DEFAULT_SHARD_SIZE = 1 << 18
+
+
+class ShardedUserPopulation:
+    """A user population of arbitrary size with lazy memory-mapped shards.
+
+    Args:
+        n_users: total population size (>= 1; millions are cheap).
+        shard_size: users per shard; shards materialise independently.
+        backing_dir: directory for the memory-mapped shard files (a
+            temporary directory when None).  Small populations (a single
+            shard below ``memmap_threshold``) stay in plain RAM arrays.
+        record_alpha: Zipf exponent of the per-user record counts
+            (paper's alpha_user = 0.5).  Each shard draws an independent
+            multinomial over its own Zipf weights, sized by the shard's
+            share of the population-wide Zipf mass -- the per-shard-seeded
+            cousin of :func:`repro.data.allocation.sharded_zipf_counts`
+            (which splits one rng stream sequentially and is exactly
+            multinomial; here shard totals are deterministic expectations
+            instead, the price of materialising shards in any order).
+        expected_records: total record mass spread over the population by
+            the Zipf law (defaults to ``10 * n_users``).
+        seed: base seed; shard materialisation is deterministic in
+            (seed, shard index) so lazily touching shards in any order
+            yields identical contents.
+        memmap_threshold: populations at or below this size skip the
+            file-backed path (tests and the per-dataset populations).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        backing_dir: str | Path | None = None,
+        record_alpha: float = 0.5,
+        expected_records: int | None = None,
+        seed: int = 0,
+        memmap_threshold: int = 1 << 16,
+    ):
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        if shard_size < 1:
+            raise ValueError("shard size must be positive")
+        self.n_users = int(n_users)
+        self.shard_size = int(shard_size)
+        self.record_alpha = float(record_alpha)
+        self.expected_records = (
+            int(expected_records) if expected_records is not None else 10 * self.n_users
+        )
+        self.seed = int(seed)
+        self.n_shards = (self.n_users + self.shard_size - 1) // self.shard_size
+        self._use_memmap = self.n_users > memmap_threshold
+        self._backing_dir: Path | None = None
+        if self._use_memmap:
+            if backing_dir is None:
+                backing_dir = tempfile.mkdtemp(prefix="uldp-population-")
+            self._backing_dir = Path(backing_dir)
+            self._backing_dir.mkdir(parents=True, exist_ok=True)
+        # Shard slots: None until materialised.
+        self._active: list[np.ndarray | None] = [None] * self.n_shards
+        self._records: list[np.ndarray | None] = [None] * self.n_shards
+        # Per-shard active counts; lazily-set to the shard size on
+        # materialisation (everyone starts active).
+        self._active_counts = np.zeros(self.n_shards, dtype=np.int64)
+        self._materialised = np.zeros(self.n_shards, dtype=bool)
+        self._shard_masses: np.ndarray | None = None
+        #: Cumulative churn statistics (arrivals, departures).
+        self.total_arrivals = 0
+        self.total_departures = 0
+
+    # -- shard plumbing ------------------------------------------------------
+
+    def _shard_bounds(self, shard: int) -> tuple[int, int]:
+        start = shard * self.shard_size
+        return start, min(start + self.shard_size, self.n_users)
+
+    def _shard_len(self, shard: int) -> int:
+        start, stop = self._shard_bounds(shard)
+        return stop - start
+
+    def _alloc(self, shard: int, name: str, dtype, fill) -> np.ndarray:
+        """Allocate one shard array (memory-mapped above the threshold)."""
+        size = self._shard_len(shard)
+        if not self._use_memmap:
+            return np.full(size, fill, dtype=dtype)
+        assert self._backing_dir is not None
+        path = self._backing_dir / f"{name}_{shard:05d}.mm"
+        arr = np.memmap(path, dtype=dtype, mode="w+", shape=(size,))
+        arr[:] = fill
+        return arr
+
+    def _materialise(self, shard: int) -> None:
+        """Create the shard's allocation arrays on first touch."""
+        if self._materialised[shard]:
+            return
+        size = self._shard_len(shard)
+        self._active[shard] = self._alloc(shard, "active", np.bool_, True)
+        records = self._alloc(shard, "records", np.int64, 0)
+        # Deterministic in (seed, shard): the shard's slice of a population
+        # -wide Zipf allocation, so touch order never changes contents.
+        rng = np.random.default_rng([self.seed, shard])
+        shard_mass, total_mass = self._zipf_masses(shard)
+        expected = self.expected_records * shard_mass / total_mass
+        start, _ = self._shard_bounds(shard)
+        ranks = np.arange(start + 1, start + size + 1, dtype=np.float64)
+        w = ranks**-self.record_alpha
+        records[:] = rng.multinomial(int(round(expected)), w / w.sum())
+        self._records[shard] = records
+        self._active_counts[shard] = size
+        self._materialised[shard] = True
+
+    def _zipf_masses(self, shard: int) -> tuple[float, float]:
+        """(shard's Zipf mass, total population mass); streamed then cached."""
+        if self._shard_masses is None:
+            masses = np.empty(self.n_shards, dtype=np.float64)
+            for s in range(self.n_shards):
+                start, stop = self._shard_bounds(s)
+                ranks = np.arange(start + 1, stop + 1, dtype=np.float64)
+                masses[s] = (ranks**-self.record_alpha).sum()
+            self._shard_masses = masses
+        return float(self._shard_masses[shard]), float(self._shard_masses.sum())
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def n_materialised_shards(self) -> int:
+        """How many shards have been touched (and so hold real arrays)."""
+        return int(self._materialised.sum())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of allocation arrays actually materialised so far."""
+        total = 0
+        for arrs in (self._active, self._records):
+            for a in arrs:
+                if a is not None:
+                    total += a.nbytes
+        return total
+
+    @property
+    def n_active(self) -> int:
+        """Currently active users (unmaterialised shards are fully active)."""
+        lazy = sum(
+            self._shard_len(s) for s in range(self.n_shards) if not self._materialised[s]
+        )
+        return int(self._active_counts[self._materialised].sum()) + int(lazy)
+
+    def active_mask(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Boolean activity flags for users ``start..stop`` (materialises)."""
+        stop = self.n_users if stop is None else stop
+        if not 0 <= start <= stop <= self.n_users:
+            raise ValueError("user range out of bounds")
+        out = np.empty(stop - start, dtype=bool)
+        pos = 0
+        for shard in range(start // self.shard_size, self.n_shards):
+            s_start, s_stop = self._shard_bounds(shard)
+            if s_start >= stop:
+                break
+            self._materialise(shard)
+            lo = max(start, s_start) - s_start
+            hi = min(stop, s_stop) - s_start
+            active = self._active[shard]
+            assert active is not None
+            out[pos : pos + hi - lo] = active[lo:hi]
+            pos += hi - lo
+        return out
+
+    def record_counts(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Per-user Zipf record counts for a user range (materialises)."""
+        stop = self.n_users if stop is None else stop
+        if not 0 <= start <= stop <= self.n_users:
+            raise ValueError("user range out of bounds")
+        out = np.empty(stop - start, dtype=np.int64)
+        pos = 0
+        for shard in range(start // self.shard_size, self.n_shards):
+            s_start, s_stop = self._shard_bounds(shard)
+            if s_start >= stop:
+                break
+            self._materialise(shard)
+            lo = max(start, s_start) - s_start
+            hi = min(stop, s_stop) - s_start
+            records = self._records[shard]
+            assert records is not None
+            out[pos : pos + hi - lo] = records[lo:hi]
+            pos += hi - lo
+        return out
+
+    def apply_churn(
+        self,
+        rng: np.random.Generator,
+        departure_rate: float = 0.0,
+        arrival_rate: float = 0.0,
+    ) -> tuple[int, int]:
+        """One churn step: departures among active, arrivals among inactive.
+
+        Each shard flips ``Binomial(n, rate)`` uniformly-chosen flags.  The
+        flip *counts* are drawn from the shard's known active totals (an
+        untouched shard is fully active by construction), so a shard is
+        only materialised when a flip actually lands in it -- laziness
+        survives churn, and the rng stream is identical either way because
+        materialisation never draws from ``rng``.  Returns the realised
+        (arrivals, departures).
+        """
+        if not 0 <= departure_rate <= 1 or not 0 <= arrival_rate <= 1:
+            raise ValueError("churn rates must lie in [0, 1]")
+        arrivals = departures = 0
+        for shard in range(self.n_shards):
+            if departure_rate == 0.0 and arrival_rate == 0.0:
+                break
+            size = self._shard_len(shard)
+            n_active = (
+                int(self._active_counts[shard]) if self._materialised[shard] else size
+            )
+            n_inactive = size - n_active
+            if departure_rate > 0 and n_active > 0:
+                k = int(rng.binomial(n_active, departure_rate))
+                if k:
+                    self._materialise(shard)
+                    active = self._active[shard]
+                    assert active is not None
+                    idx = np.flatnonzero(active)
+                    chosen = rng.choice(len(idx), size=k, replace=False)
+                    active[idx[chosen]] = False
+                    self._active_counts[shard] -= k
+                    departures += k
+            if arrival_rate > 0 and n_inactive > 0:
+                k = int(rng.binomial(n_inactive, arrival_rate))
+                if k:
+                    self._materialise(shard)
+                    active = self._active[shard]
+                    assert active is not None
+                    idx = np.flatnonzero(~active)
+                    chosen = rng.choice(len(idx), size=k, replace=False)
+                    active[idx[chosen]] = True
+                    self._active_counts[shard] += k
+                    arrivals += k
+        self.total_arrivals += arrivals
+        self.total_departures += departures
+        return arrivals, departures
+
+    def sample_users(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Draw k distinct active user ids (proportional to shard activity)."""
+        if k < 0:
+            raise ValueError("sample size must be non-negative")
+        n_active = self.n_active
+        if k > n_active:
+            raise ValueError(f"only {n_active} active users available")
+        out: list[np.ndarray] = []
+        remaining = k
+        pool = n_active
+        for shard in range(self.n_shards):
+            if remaining == 0:
+                break
+            shard_active = (
+                int(self._active_counts[shard])
+                if self._materialised[shard]
+                else self._shard_len(shard)
+            )
+            if shard_active == 0:
+                continue
+            # Hypergeometric split keeps the draw uniform over all active
+            # users while touching one shard at a time.
+            take = int(rng.hypergeometric(shard_active, pool - shard_active, remaining))
+            pool -= shard_active
+            if take == 0:
+                continue
+            self._materialise(shard)
+            active = self._active[shard]
+            assert active is not None
+            idx = np.flatnonzero(active)
+            chosen = rng.choice(len(idx), size=take, replace=False)
+            start, _ = self._shard_bounds(shard)
+            out.append(np.sort(idx[chosen]) + start)
+            remaining -= take
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+    # -- checkpoint serialisation --------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the materialised shards (arrays included)."""
+        shards = {}
+        for shard in range(self.n_shards):
+            if self._materialised[shard]:
+                active = self._active[shard]
+                records = self._records[shard]
+                assert active is not None and records is not None
+                shards[str(shard)] = {
+                    "active": np.asarray(active, dtype=np.bool_).copy(),
+                    "records": np.asarray(records, dtype=np.int64).copy(),
+                }
+        return {
+            "schema": "uldp-fl-population/v1",
+            "n_users": self.n_users,
+            "shard_size": self.shard_size,
+            "record_alpha": self.record_alpha,
+            "expected_records": self.expected_records,
+            "seed": self.seed,
+            "total_arrivals": self.total_arrivals,
+            "total_departures": self.total_departures,
+            "shards": shards,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-exactly."""
+        if state.get("schema") != "uldp-fl-population/v1":
+            raise ValueError(f"unknown population schema: {state.get('schema')!r}")
+        if (
+            int(state["n_users"]) != self.n_users
+            or int(state["shard_size"]) != self.shard_size
+        ):
+            raise ValueError("population geometry mismatch")
+        self.total_arrivals = int(state["total_arrivals"])
+        self.total_departures = int(state["total_departures"])
+        for key, payload in state["shards"].items():
+            shard = int(key)
+            self._materialise(shard)
+            active = self._active[shard]
+            records = self._records[shard]
+            assert active is not None and records is not None
+            active[:] = np.asarray(payload["active"], dtype=np.bool_)
+            records[:] = np.asarray(payload["records"], dtype=np.int64)
+            self._active_counts[shard] = int(active.sum())

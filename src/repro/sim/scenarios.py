@@ -1,0 +1,261 @@
+"""Named federation scenarios: the registry behind ``repro simulate``.
+
+Each scenario is a complete recipe -- dataset scale, method, participation
+dynamics, aggregation policy, renormalisation strategy -- so results are
+reproducible from a name and a seed.  ``docs/scenarios.md`` describes each
+scenario's semantics and its privacy-accounting caveats.
+
+The registry composes with checkpointing: :func:`run_scenario` snapshots
+every ``checkpoint_every`` releases and :func:`resume_simulator` rebuilds
+a simulator from a checkpoint directory (the scenario name and overrides
+travel inside the checkpoint's ``extra`` payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.methods.uldp_avg import UldpAvg
+from repro.data import build_creditcard_benchmark
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.participation import (
+    ChurnProcess,
+    IidSiloDropout,
+    LogNormalLatency,
+    SiloOutageWindows,
+)
+from repro.sim.policies import BufferedAsyncPolicy, SemiSyncPolicy, SyncPolicy
+from repro.sim.scheduler import FederationSimulator, SimConfig
+
+SCALES = ("smoke", "small", "paper")
+
+
+def _scale_params(scale: str) -> dict:
+    """Workload size per scale tier (mirrors the experiment registry)."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}")
+    return {
+        "smoke": dict(rounds=3, n_records=300, n_users=12, n_silos=3, n_test=80),
+        "small": dict(rounds=10, n_records=2000, n_users=50, n_silos=5, n_test=400),
+        "paper": dict(rounds=40, n_records=10_000, n_users=100, n_silos=5, n_test=2000),
+    }[scale]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named simulation recipe."""
+
+    name: str
+    description: str
+    #: Maps (rounds, n_silos) to the scenario's :class:`SimConfig` fields.
+    config_factory: Callable[[int, int], dict]
+
+
+def _ideal_sync(rounds: int, n_silos: int) -> dict:
+    return dict(policy=SyncPolicy(), renorm="none")
+
+
+def _silo_outage(rounds: int, n_silos: int) -> dict:
+    start = max(1, rounds // 4)
+    stop = min(rounds, start + max(2, rounds // 4))
+    return dict(
+        policy=SyncPolicy(),
+        renorm="survivors",
+        dropout=SiloOutageWindows({0: (start, stop)}),
+    )
+
+
+def _flaky_silos(rounds: int, n_silos: int) -> dict:
+    return dict(policy=SyncPolicy(), renorm="none", dropout=IidSiloDropout(0.3))
+
+
+def _carryover_makeup(rounds: int, n_silos: int) -> dict:
+    return dict(
+        policy=SyncPolicy(),
+        renorm="carryover",
+        dropout=IidSiloDropout(0.3),
+        carryover_max_gain=2.0,
+    )
+
+
+def _stragglers_deadline(rounds: int, n_silos: int) -> dict:
+    # One persistently slow silo (2x median) plus heavy-tailed jitter.
+    speed = tuple(2.0 if s == n_silos - 1 else 1.0 for s in range(n_silos))
+    return dict(
+        policy=SemiSyncPolicy(deadline=1.5),
+        renorm="survivors",
+        latency=LogNormalLatency(median=1.0, sigma=0.4, silo_speed=speed),
+    )
+
+
+def _async_fedbuff(rounds: int, n_silos: int) -> dict:
+    return dict(
+        policy=BufferedAsyncPolicy(
+            buffer_size=max(2, n_silos // 2), staleness_exponent=0.5
+        ),
+        renorm="none",
+        latency=LogNormalLatency(median=1.0, sigma=0.6),
+    )
+
+
+def _user_churn(rounds: int, n_silos: int) -> dict:
+    return dict(
+        policy=SyncPolicy(),
+        renorm="survivors",
+        churn=ChurnProcess(departure_rate=0.05, arrival_rate=0.03),
+    )
+
+
+_REGISTRY: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "ideal-sync",
+            "synchronous, zero dropout -- the oracle matching Trainer exactly",
+            _ideal_sync,
+        ),
+        Scenario(
+            "silo-outage",
+            "silo 0 offline for a window of rounds; survivors renormalise",
+            _silo_outage,
+        ),
+        Scenario(
+            "flaky-silos",
+            "iid 30% per-round silo dropout, weights left as-is (renorm=none)",
+            _flaky_silos,
+        ),
+        Scenario(
+            "carryover-makeup",
+            "iid 30% dropout; returning silos make up missed weight "
+            "(sensitivity > 1 rounds are charged honestly)",
+            _carryover_makeup,
+        ),
+        Scenario(
+            "stragglers-deadline",
+            "semi-synchronous deadline at 1.5 units with one 2x-slow silo",
+            _stragglers_deadline,
+        ),
+        Scenario(
+            "async-fedbuff",
+            "buffered-async (FedBuff-style) staleness-weighted merging",
+            _async_fedbuff,
+        ),
+        Scenario(
+            "user-churn",
+            "5%/round user departures, 3%/round arrivals; survivors renormalise",
+            _user_churn,
+        ),
+    )
+}
+
+
+def available_scenarios() -> list[str]:
+    """Names accepted by :func:`build_scenario` / ``repro simulate``."""
+    return sorted(_REGISTRY)
+
+
+def describe_scenario(name: str) -> str:
+    """One-line description of a named scenario."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scenario {name!r}; see available_scenarios()")
+    return _REGISTRY[name].description
+
+
+def build_scenario(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    rounds: int | None = None,
+    noise_multiplier: float = 5.0,
+) -> FederationSimulator:
+    """Construct a ready-to-run simulator for a named scenario.
+
+    The construction is deterministic in (name, scale, seed, rounds): a
+    resumed checkpoint rebuilds the identical simulator through this
+    function before loading state.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scenario {name!r}; see available_scenarios()")
+    params = _scale_params(scale)
+    rounds = int(rounds) if rounds is not None else params["rounds"]
+    fed = build_creditcard_benchmark(
+        n_users=params["n_users"],
+        n_silos=params["n_silos"],
+        distribution="zipf",
+        n_records=params["n_records"],
+        n_test=params["n_test"],
+        seed=seed,
+    )
+    method = UldpAvg(
+        noise_multiplier=noise_multiplier,
+        local_epochs=1,
+        weighting="proportional",
+    )
+    overrides = _REGISTRY[name].config_factory(rounds, fed.n_silos)
+    config = SimConfig(rounds=rounds, seed=seed + 1, **overrides)
+    return FederationSimulator(fed, method, config)
+
+
+def run_scenario(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    rounds: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+) -> FederationSimulator:
+    """Run a named scenario to completion (checkpointing along the way)."""
+    sim = build_scenario(name, scale=scale, seed=seed, rounds=rounds)
+    _run_with_checkpoints(
+        sim,
+        checkpoint_dir,
+        checkpoint_every,
+        extra={"scenario": name, "scale": scale, "seed": seed, "rounds": rounds},
+    )
+    return sim
+
+
+def resume_simulator(checkpoint_dir: str) -> tuple[FederationSimulator, dict]:
+    """Rebuild a simulator from a checkpoint directory (not yet run).
+
+    Returns ``(simulator, extra)`` where ``extra`` is the payload stored at
+    save time (scenario name and overrides).  Call ``simulator.run()`` --
+    or :func:`continue_simulation` -- to finish the remaining rounds.
+    """
+    state, extra = load_checkpoint(checkpoint_dir)
+    if not extra or "scenario" not in extra:
+        raise ValueError("checkpoint does not carry scenario metadata")
+    sim = build_scenario(
+        extra["scenario"],
+        scale=extra.get("scale", "small"),
+        seed=int(extra.get("seed", 0)),
+        rounds=extra.get("rounds"),
+    )
+    sim.load_state(state)
+    return sim, extra
+
+
+def continue_simulation(
+    checkpoint_dir: str, checkpoint_every: int | None = None
+) -> FederationSimulator:
+    """Resume from a checkpoint and run the remaining rounds."""
+    sim, extra = resume_simulator(checkpoint_dir)
+    _run_with_checkpoints(sim, checkpoint_dir, checkpoint_every, extra=extra)
+    return sim
+
+
+def _run_with_checkpoints(
+    sim: FederationSimulator,
+    checkpoint_dir: str | None,
+    checkpoint_every: int | None,
+    extra: dict,
+) -> None:
+    """Drive a simulator to completion, snapshotting every k releases."""
+    if checkpoint_dir is None:
+        sim.run()
+        return
+    every = checkpoint_every or max(1, sim.config.rounds // 4)
+    while not sim.done:
+        sim.run(stop_after=min(sim.rounds_completed + every, sim.config.rounds))
+        save_checkpoint(checkpoint_dir, sim, extra=extra)

@@ -130,6 +130,31 @@ class TestPresiloedAllocation:
         with pytest.raises(ValueError):
             allocate_presiloed_zipf([10], 5, np.random.default_rng(0), primary_fraction=0.0)
 
+    def test_zipf_capacity_smaller_than_primary_share(self):
+        # The head user's 80% primary share (~80 records) dwarfs every
+        # silo's capacity: the fitting must still fill the silos exactly
+        # and stay within the user range.
+        rng = np.random.default_rng(11)
+        sizes = [5, 5, 5]  # total 15 records over 2 users, alpha -> head-heavy
+        lists = allocate_presiloed_zipf(sizes, 2, rng, alpha_user=3.0)
+        assert [len(l) for l in lists] == sizes
+        assert all(l.min() >= 0 and l.max() < 2 for l in lists)
+
+    def test_zipf_single_silo_gets_everyone(self):
+        rng = np.random.default_rng(12)
+        (assignments,) = allocate_presiloed_zipf([25], 6, rng)
+        assert len(assignments) == 25
+        assert assignments.max() < 6
+
+    def test_zipf_more_users_than_records(self):
+        # Capacities sum below n_users: most users get nothing; the
+        # desired-count fallback (uniform once desires are exhausted)
+        # must not loop or emit out-of-range ids.
+        rng = np.random.default_rng(13)
+        lists = allocate_presiloed_zipf([3, 2], 50, rng)
+        assert [len(l) for l in lists] == [3, 2]
+        assert np.concatenate(lists).max() < 50
+
 
 class TestNonIidAllocation:
     def test_each_user_sees_at_most_two_labels(self):
@@ -191,3 +216,34 @@ class TestMinRecordsEnforcement:
             enforce_min_records_per_pair(
                 np.zeros(3, dtype=int), np.zeros(3, dtype=int), 0, np.random.default_rng(0)
             )
+
+    def test_all_users_under_minimum_merge_into_one(self):
+        # Every user holds a single record but min_records=3: the whole
+        # silo collapses onto one user (the merge-all branch).
+        users = np.array([0, 1, 2, 3])
+        silos = np.zeros(4, dtype=int)
+        fixed = enforce_min_records_per_pair(users, silos, 3, np.random.default_rng(0))
+        assert len(np.unique(fixed)) == 1
+
+    def test_single_user_silo_left_alone(self):
+        # One user below the minimum but nobody to merge with: unchanged.
+        users = np.array([7])
+        silos = np.array([2])
+        fixed = enforce_min_records_per_pair(users, silos, 2, np.random.default_rng(0))
+        np.testing.assert_array_equal(fixed, [7])
+
+    def test_silo_membership_never_changes(self):
+        # The helper reassigns users, never moves records across silos:
+        # per-silo record counts are invariant.
+        rng = np.random.default_rng(10)
+        users = rng.integers(0, 40, size=120)
+        silos = rng.integers(0, 5, size=120)
+        before = np.bincount(silos, minlength=5)
+        enforce_min_records_per_pair(users, silos, 3, rng)
+        np.testing.assert_array_equal(np.bincount(silos, minlength=5), before)
+
+    def test_donor_records_go_to_largest_user(self):
+        users = np.array([0, 0, 0, 1])  # user 1 has 1 record < 2
+        silos = np.zeros(4, dtype=int)
+        fixed = enforce_min_records_per_pair(users, silos, 2, np.random.default_rng(0))
+        np.testing.assert_array_equal(fixed, [0, 0, 0, 0])

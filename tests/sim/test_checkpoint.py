@@ -1,0 +1,127 @@
+"""Bit-identical checkpoint/resume tests (the acceptance-criterion suite).
+
+A simulation killed at round k and resumed from its checkpoint must match
+an uninterrupted run's final params, history, and accountant state
+*exactly* -- not approximately.  Every assertion here is exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    build_scenario,
+    continue_simulation,
+    load_checkpoint,
+    resume_simulator,
+    run_scenario,
+    save_checkpoint,
+)
+
+#: The scenarios covering every state machine: carryover gains, async
+#: pending buffers, churned populations, and plain sync.
+SCENARIOS = ["ideal-sync", "carryover-makeup", "async-fedbuff", "user-churn"]
+
+
+def assert_identical(a, b):
+    """Full bit-identity of two finished simulators."""
+    assert np.array_equal(a.trainer.params, b.trainer.params)
+    assert a.history.records == b.history.records
+    assert a.history.participation == b.history.participation
+    assert a.round_log == b.round_log
+    assert np.array_equal(a.method.accountant._rhos, b.method.accountant._rhos)
+    assert a.method.accountant.history == b.method.accountant.history
+    assert a.method.accountant.releases == b.method.accountant.releases
+    assert a.trainer.rng.bit_generator.state == b.trainer.rng.bit_generator.state
+    assert a.sim_rng.bit_generator.state == b.sim_rng.bit_generator.state
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_killed_at_round_k_resumes_bit_identically(self, scenario, tmp_path):
+        uninterrupted = run_scenario(scenario, scale="smoke", seed=9)
+
+        killed = build_scenario(scenario, scale="smoke", seed=9)
+        killed.run(stop_after=1)  # "crash" after the first release
+        save_checkpoint(
+            tmp_path,
+            killed,
+            extra={"scenario": scenario, "scale": "smoke", "seed": 9, "rounds": None},
+        )
+        resumed = continue_simulation(str(tmp_path))
+        assert resumed.done
+        assert_identical(uninterrupted, resumed)
+
+    def test_checkpoint_every_round_still_identical(self, tmp_path):
+        uninterrupted = run_scenario("flaky-silos", scale="smoke", seed=2)
+        checkpointed = run_scenario(
+            "flaky-silos",
+            scale="smoke",
+            seed=2,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+        )
+        assert_identical(uninterrupted, checkpointed)
+        # The final snapshot on disk restores to the same end state too.
+        resumed, extra = resume_simulator(str(tmp_path))
+        assert extra["scenario"] == "flaky-silos"
+        assert resumed.done
+        assert_identical(uninterrupted, resumed)
+
+    def test_double_kill_chain(self, tmp_path):
+        """Crash twice (after rounds 1 and 2); the chain still matches."""
+        uninterrupted = run_scenario("carryover-makeup", scale="smoke", seed=5)
+
+        sim = build_scenario("carryover-makeup", scale="smoke", seed=5)
+        extra = {"scenario": "carryover-makeup", "scale": "smoke", "seed": 5,
+                 "rounds": None}
+        sim.run(stop_after=1)
+        save_checkpoint(tmp_path, sim, extra=extra)
+        second, _ = resume_simulator(str(tmp_path))
+        second.run(stop_after=2)
+        save_checkpoint(tmp_path, second, extra=extra)
+        final = continue_simulation(str(tmp_path))
+        assert_identical(uninterrupted, final)
+
+
+class TestCheckpointFormat:
+    def test_schema_validated(self, tmp_path):
+        sim = build_scenario("ideal-sync", scale="smoke", seed=0)
+        save_checkpoint(tmp_path, sim)
+        (tmp_path / "state.json").write_text('{"schema": "bogus"}')
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path)
+
+    def test_resume_requires_scenario_metadata(self, tmp_path):
+        sim = build_scenario("ideal-sync", scale="smoke", seed=0)
+        save_checkpoint(tmp_path, sim)  # no extra payload
+        with pytest.raises(ValueError):
+            resume_simulator(str(tmp_path))
+
+    def test_snapshots_are_versioned_and_pruned(self, tmp_path):
+        extra = {"scenario": "ideal-sync", "scale": "smoke", "seed": 0,
+                 "rounds": None}
+        sim = build_scenario("ideal-sync", scale="smoke", seed=0)
+        sim.run(stop_after=1)
+        save_checkpoint(tmp_path, sim, extra=extra)
+        sim.run(stop_after=2)
+        save_checkpoint(tmp_path, sim, extra=extra)
+        npz = list(tmp_path.glob("arrays-*.npz"))
+        # Only the latest arrays file survives, and state.json points at it.
+        assert [p.name for p in npz] == ["arrays-00000002.npz"]
+        resumed, _ = resume_simulator(str(tmp_path))
+        assert resumed.rounds_completed == 2
+
+    def test_state_dict_roundtrips_through_disk(self, tmp_path):
+        sim = build_scenario("async-fedbuff", scale="smoke", seed=1)
+        sim.run(stop_after=2)
+        save_checkpoint(tmp_path, sim, extra={"scenario": "async-fedbuff"})
+        state, extra = load_checkpoint(tmp_path)
+        assert extra == {"scenario": "async-fedbuff"}
+        fresh = build_scenario("async-fedbuff", scale="smoke", seed=1)
+        fresh.load_state(state)
+        assert np.array_equal(fresh.trainer.params, sim.trainer.params)
+        assert fresh.rounds_completed == 2
+        assert len(fresh._pending) == len(sim._pending)
+        for a, b in zip(fresh._pending, sim._pending):
+            assert a.silo == b.silo and a.finish == b.finish
+            assert np.array_equal(a.payload, b.payload)

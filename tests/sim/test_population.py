@@ -1,0 +1,154 @@
+"""Tests for the sharded, lazily-materialised user population."""
+
+import numpy as np
+import pytest
+
+from repro.data.allocation import sharded_zipf_counts, zipf_weights
+from repro.sim.population import ShardedUserPopulation
+
+
+class TestLazyMaterialisation:
+    def test_setup_materialises_nothing(self):
+        pop = ShardedUserPopulation(1_000_000, seed=0)
+        assert pop.n_materialised_shards == 0
+        assert pop.resident_bytes == 0
+        assert pop.n_active == 1_000_000
+
+    def test_touch_materialises_only_hit_shards(self):
+        pop = ShardedUserPopulation(1_000_000, seed=0)
+        pop.active_mask(0, 100)
+        assert pop.n_materialised_shards == 1
+
+    def test_memmap_backing_files_created(self, tmp_path):
+        pop = ShardedUserPopulation(200_000, backing_dir=tmp_path, seed=0)
+        pop.active_mask(0, 10)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert any(f.startswith("active_") for f in files)
+        assert any(f.startswith("records_") for f in files)
+
+    def test_small_population_stays_in_ram(self, tmp_path):
+        pop = ShardedUserPopulation(100, backing_dir=tmp_path, seed=0)
+        pop.active_mask(0, 100)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_touch_order_does_not_change_contents(self):
+        a = ShardedUserPopulation(300_000, shard_size=100_000, seed=3)
+        b = ShardedUserPopulation(300_000, shard_size=100_000, seed=3)
+        fwd = a.record_counts(0, 300_000)
+        # b touches the last shard first.
+        b.record_counts(250_000, 300_000)
+        rev = b.record_counts(0, 300_000)
+        assert np.array_equal(fwd, rev)
+
+    def test_record_counts_follow_zipf_ranks(self):
+        pop = ShardedUserPopulation(1_000, seed=0, expected_records=100_000)
+        counts = pop.record_counts()
+        # Early ranks carry more records on average than late ranks.
+        assert counts[:100].mean() > counts[-100:].mean() * 1.5
+
+
+class TestChurn:
+    def test_rates_shift_active_count(self):
+        pop = ShardedUserPopulation(10_000, seed=0)
+        rng = np.random.default_rng(0)
+        arrivals, departures = pop.apply_churn(rng, departure_rate=0.2)
+        assert arrivals == 0 and departures > 0
+        assert pop.n_active == 10_000 - departures
+
+    def test_arrivals_reactivate(self):
+        pop = ShardedUserPopulation(5_000, seed=0)
+        rng = np.random.default_rng(0)
+        pop.apply_churn(rng, departure_rate=0.5)
+        low = pop.n_active
+        pop.apply_churn(rng, arrival_rate=0.5)
+        assert pop.n_active > low
+
+    def test_deterministic_in_rng(self):
+        def run():
+            pop = ShardedUserPopulation(20_000, seed=1)
+            rng = np.random.default_rng(42)
+            for _ in range(5):
+                pop.apply_churn(rng, departure_rate=0.1, arrival_rate=0.05)
+            return pop.active_mask()
+
+        assert np.array_equal(run(), run())
+
+    def test_rejects_bad_rates(self):
+        pop = ShardedUserPopulation(100, seed=0)
+        with pytest.raises(ValueError):
+            pop.apply_churn(np.random.default_rng(0), departure_rate=1.5)
+
+    def test_churn_without_flips_stays_lazy(self):
+        # Flip counts are drawn from the known shard totals before any
+        # materialisation; a rate yielding zero flips touches no shard.
+        pop = ShardedUserPopulation(1_000_000, seed=0)
+        arrivals, departures = pop.apply_churn(
+            np.random.default_rng(0), departure_rate=1e-12
+        )
+        assert (arrivals, departures) == (0, 0)
+        assert pop.n_materialised_shards == 0
+
+
+class TestSampling:
+    def test_sample_is_active_and_distinct(self):
+        pop = ShardedUserPopulation(50_000, shard_size=16_384, seed=0)
+        rng = np.random.default_rng(0)
+        pop.apply_churn(rng, departure_rate=0.3)
+        sample = pop.sample_users(rng, 1_000)
+        assert len(np.unique(sample)) == 1_000
+        mask = pop.active_mask()
+        assert mask[sample].all()
+
+    def test_oversample_rejected(self):
+        pop = ShardedUserPopulation(100, seed=0)
+        with pytest.raises(ValueError):
+            pop.sample_users(np.random.default_rng(0), 101)
+
+
+class TestStateRoundtrip:
+    def test_churned_state_restores_exactly(self):
+        pop = ShardedUserPopulation(30_000, shard_size=8_192, seed=5)
+        rng = np.random.default_rng(7)
+        pop.apply_churn(rng, departure_rate=0.2, arrival_rate=0.1)
+        state = pop.state_dict()
+        fresh = ShardedUserPopulation(30_000, shard_size=8_192, seed=5)
+        fresh.load_state(state)
+        assert np.array_equal(pop.active_mask(), fresh.active_mask())
+        assert np.array_equal(pop.record_counts(), fresh.record_counts())
+        assert fresh.n_active == pop.n_active
+
+    def test_geometry_mismatch_rejected(self):
+        pop = ShardedUserPopulation(1_000, seed=0)
+        other = ShardedUserPopulation(2_000, seed=0)
+        with pytest.raises(ValueError):
+            other.load_state(pop.state_dict())
+
+
+class TestShardedZipfCounts:
+    def test_counts_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        chunks = list(sharded_zipf_counts(10_000, 5_000, rng, shard_size=1_024))
+        assert sum(c.sum() for _, c in chunks) == 10_000
+        starts = [s for s, _ in chunks]
+        assert starts == list(range(0, 5_000, 1_024))
+
+    def test_matches_one_shot_distribution(self):
+        # Mean per-user counts converge to n_records * zipf_weights.
+        rng = np.random.default_rng(1)
+        n_users, n_records = 200, 200_000
+        total = np.zeros(n_users)
+        for start, counts in sharded_zipf_counts(
+            n_records, n_users, rng, alpha=0.8, shard_size=64
+        ):
+            total[start : start + len(counts)] = counts
+        expected = n_records * zipf_weights(n_users, 0.8)
+        assert np.abs(total - expected).max() / expected.max() < 0.15
+
+    def test_rejects_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            list(sharded_zipf_counts(-1, 10, rng))
+        with pytest.raises(ValueError):
+            list(sharded_zipf_counts(10, 0, rng))
+        with pytest.raises(ValueError):
+            list(sharded_zipf_counts(10, 10, rng, shard_size=0))

@@ -92,3 +92,30 @@ class TestTrainCommand:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestSimulateCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["simulate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal-sync" in out and "async-fedbuff" in out
+
+    def test_requires_scenario_or_resume(self, capsys):
+        assert main(["simulate"]) == 2
+
+    def test_run_checkpoint_and_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        out_file = tmp_path / "history.json"
+        code = main([
+            "simulate", "--scenario", "silo-outage", "--scale", "smoke",
+            "--checkpoint-dir", str(ckpt), "--checkpoint-every", "1",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ULDP-AVG-w" in out and "releases" in out
+        payload = json.loads(out_file.read_text())
+        assert payload[0]["participation"]
+
+        assert main(["simulate", "--resume", str(ckpt)]) == 0
+        assert "resumed from" in capsys.readouterr().out

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.trainer import RoundRecord, TrainingHistory
+from repro.core.trainer import ParticipationRecord, RoundRecord, TrainingHistory
 from repro.report import (
     ascii_chart,
     comparison_table,
@@ -17,7 +17,7 @@ from repro.report import (
 )
 
 
-def make_history(method="ULDP-AVG", n=5, eps=True):
+def make_history(method="ULDP-AVG", n=5, eps=True, participation=False):
     history = TrainingHistory(method=method, dataset="creditcard")
     for t in range(1, n + 1):
         history.records.append(
@@ -29,6 +29,10 @@ def make_history(method="ULDP-AVG", n=5, eps=True):
                 epsilon=0.3 * t if eps else None,
             )
         )
+        if participation:
+            history.participation.append(
+                ParticipationRecord(round=t, silos_seen=4 - t % 2, users_seen=90 + t)
+            )
     return history
 
 
@@ -82,6 +86,17 @@ class TestComparisonTable:
         table = comparison_table([make_history()])
         assert "▁" in table or "█" in table
 
+    def test_participation_column(self):
+        table = comparison_table(
+            [make_history(participation=True), make_history("OLD")]
+        )
+        lines = table.splitlines()
+        assert "seen" in lines[0]
+        # Mean over rounds 1..5: silos (3,4,3,4,3) -> 3.4, users 91..95 -> 93.
+        assert "3.4s/93.0u" in lines[1]
+        # Histories without a participation log degrade to a dash.
+        assert " - " in lines[2] or lines[2].split()[-2] == "-"
+
 
 class TestSerialisation:
     def test_roundtrip_dict(self):
@@ -95,6 +110,16 @@ class TestSerialisation:
         history = make_history(eps=False)
         restored = history_from_dict(history_to_dict(history))
         assert restored.final.epsilon is None
+
+    def test_participation_roundtrip(self):
+        history = make_history(participation=True)
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.participation == history.participation
+
+    def test_legacy_payload_without_participation_loads(self):
+        data = history_to_dict(make_history())
+        assert "participation" not in data
+        assert history_from_dict(data).participation == []
 
     def test_schema_validated(self):
         with pytest.raises(ValueError):
