@@ -5,16 +5,18 @@
 #   make bench-engine   loop vs. vectorized engine speedup on fig05 MNIST
 #   make bench-protocol reference vs. fast crypto backend on Protocol 1
 #   make bench-sim      simulation runtime: 1M-user population + dropout
+#   make bench-compress update compression: uplink bytes vs utility (fig05)
 #   make docs-check     doctest the docs' worked examples + docstring coverage
 #
-# bench-engine, bench-protocol, and bench-sim also refresh the
-# machine-readable BENCH_engine.json / BENCH_protocol.json / BENCH_sim.json
-# at the repo root, so the perf trajectory is tracked across PRs.
+# bench-engine, bench-protocol, bench-sim, and bench-compress also refresh
+# the machine-readable BENCH_engine.json / BENCH_protocol.json /
+# BENCH_sim.json / BENCH_compression.json at the repo root, so the perf
+# trajectory is tracked across PRs (CI uploads them as artifacts).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol bench-sim docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +32,9 @@ bench-protocol:
 
 bench-sim:
 	$(PYTHON) -m pytest benchmarks/bench_sim_scale.py -s
+
+bench-compress:
+	$(PYTHON) -m pytest benchmarks/bench_compression.py -s
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py

@@ -7,6 +7,8 @@ Subpackages
 - :mod:`repro.nn` -- numpy neural-network substrate with manual backprop.
 - :mod:`repro.data` -- synthetic datasets and user/silo record allocation.
 - :mod:`repro.core` -- the FL framework: ULDP-NAIVE/GROUP/AVG/SGD + FedAVG.
+- :mod:`repro.compress` -- post-noise update compression (sparsify,
+  quantize, error feedback) + wire-byte accounting.
 - :mod:`repro.protocol` -- Protocol 1, the private weighting protocol.
 
 Quickstart::
@@ -28,6 +30,8 @@ __version__ = "1.0.0"
 # name -> defining submodule, resolved on first attribute access.
 _LAZY_EXPORTS = {
     "PrivacyAccountant": "repro.accounting",
+    "CompressionSpec": "repro.compress",
+    "UpdateCompressor": "repro.compress",
     "Default": "repro.core",
     "Trainer": "repro.core",
     "TrainingHistory": "repro.core",

@@ -16,6 +16,8 @@ Examples::
 
     python -m repro train --dataset creditcard --method uldp-avg-w \\
         --rounds 10 --users 100 --distribution zipf
+    python -m repro train --method uldp-avg-w --compress topk \\
+        --compress-fraction 0.05 --quantize-bits 8 --error-feedback
     python -m repro simulate --scenario silo-outage --rounds 20 \\
         --checkpoint-dir ckpt/
     python -m repro simulate --resume ckpt/
@@ -34,6 +36,7 @@ from repro.accounting import (
     calibrate_noise_multiplier,
     calibrate_sample_rate,
 )
+from repro.compress import SPARSIFIERS, CompressionSpec
 from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
 from repro.data import (
     build_creditcard_benchmark,
@@ -101,14 +104,51 @@ def _build_method(args):
     raise ValueError(f"unknown method {args.method!r}")
 
 
+def _build_compression(args) -> CompressionSpec | None:
+    """The CompressionSpec the train flags describe (None = dense)."""
+    lossy = args.compress != "none" or args.quantize_bits is not None
+    if not lossy:
+        if args.error_feedback or args.compress_downlink:
+            raise ValueError(
+                "--error-feedback/--compress-downlink require a lossy "
+                "pipeline; add --compress topk|randk or --quantize-bits"
+            )
+        return None
+    return CompressionSpec(
+        sparsify=args.compress,
+        fraction=args.compress_fraction,
+        quantize_bits=args.quantize_bits,
+        error_feedback=args.error_feedback,
+        downlink=args.compress_downlink,
+        seed=args.seed,
+    )
+
+
 def cmd_train(args) -> int:
     fed = _build_dataset(args)
     method = _build_method(args)
     print(fed.summary())
-    trainer = Trainer(fed, method, rounds=args.rounds, delta=args.delta, seed=args.seed)
+    try:
+        trainer = Trainer(
+            fed, method, rounds=args.rounds, delta=args.delta, seed=args.seed,
+            compression=_build_compression(args),
+        )
+    except (NotImplementedError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     history = trainer.run()
     print()
     print(comparison_table([history]))
+    # Every run records wire bytes (dense defaults without compression),
+    # so the totals are always available.
+    up_mean, down_mean = history.comm_summary()
+    from repro.report import format_bytes
+
+    print(
+        f"\nwire traffic: {format_bytes(history.total_uplink_bytes)} up / "
+        f"{format_bytes(history.total_downlink_bytes)} down total "
+        f"({format_bytes(up_mean)}/rd up, {format_bytes(down_mean)}/rd down)"
+    )
     if args.output:
         save_histories([history], args.output)
         print(f"\nhistory saved to {args.output}")
@@ -253,6 +293,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sample-rate", type=float, default=None,
                        help="user-level sub-sampling rate q (Algorithm 4)")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--compress", choices=list(SPARSIFIERS), default="none",
+                       help="uplink sparsifier (post-noise; epsilon unchanged)")
+    train.add_argument("--compress-fraction", type=float, default=0.05,
+                       help="kept coordinate fraction for topk/randk")
+    train.add_argument("--quantize-bits", type=int, default=None,
+                       help="stochastic b-bit quantization of sent values")
+    train.add_argument("--error-feedback", action="store_true",
+                       help="per-silo error-feedback residual accumulators")
+    train.add_argument("--compress-downlink", action="store_true",
+                       help="also compress the server's broadcast update")
     train.add_argument("--output", type=str, default=None,
                        help="write the history JSON here")
     train.set_defaults(func=cmd_train)

@@ -1,0 +1,171 @@
+"""The stateful compression pipeline: residuals, RNG stream, byte ledger.
+
+:class:`UpdateCompressor` is the per-federation object that applies a
+:class:`repro.compress.spec.CompressionSpec` to wire payloads.  It owns
+
+- one **residual accumulator per silo** (plus one for the server's
+  downlink broadcast) implementing error feedback: what sparsification
+  and quantization discard this round is added back to the same silo's
+  payload next round, so the compression error telescopes instead of
+  accumulating;
+- a **private RNG stream** (random-k supports, stochastic rounding) kept
+  separate from the trainer RNG, so compressed and uncompressed runs draw
+  bit-identical training noise;
+- the **byte accounting** reported per payload, which
+  :class:`repro.core.trainer.TrainingHistory` records per round.
+
+Compression is applied strictly **post-noise**: the payloads handed in
+are already noise-protected releases, so everything here is
+post-processing and the privacy accounting is untouched (the accountant
+sees the exact same calls; asserted by the invariance tests).
+
+The compressor's dynamic state (residuals + RNG) serialises through
+:meth:`UpdateCompressor.state_dict` so simulations with compression
+checkpoint/resume bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.quantize import dequantize, quantize_stochastic
+from repro.compress.sparsify import randk_indices, scatter, topk_indices
+from repro.compress.spec import CompressionSpec
+
+#: Seed-sequence tag separating the compressor's RNG stream from training
+#: and from the simulation scheduler.
+_COMPRESS_STREAM = 0xC0DEC
+
+#: Residual slot of the server's downlink broadcast.
+DOWNLINK_SLOT = -1
+
+
+@dataclass(frozen=True)
+class CompressedPayload:
+    """One compressed wire payload, already decompressed for aggregation.
+
+    Attributes:
+        dense: the receiver-side reconstruction (what enters the sum).
+        nbytes: wire size of the compressed form.
+        kept: surviving coordinate count (``dim`` when dense).
+    """
+
+    dense: np.ndarray
+    nbytes: int
+    kept: int
+
+
+class UpdateCompressor:
+    """Applies one :class:`CompressionSpec` across a federation's links."""
+
+    def __init__(self, spec: CompressionSpec, n_silos: int, dim: int):
+        if n_silos < 1:
+            raise ValueError("need at least one silo")
+        if dim < 1:
+            raise ValueError("dimension must be positive")
+        self.spec = spec
+        self.n_silos = n_silos
+        self.dim = dim
+        self.rng = np.random.default_rng([spec.seed, _COMPRESS_STREAM])
+        #: Residual accumulators, keyed by silo id (DOWNLINK_SLOT = server).
+        self._residuals: dict[int, np.ndarray] = {}
+
+    # -- compression ---------------------------------------------------------
+
+    def compress(self, slot: int, vector: np.ndarray) -> CompressedPayload:
+        """Compress one payload through the slot's error-feedback loop.
+
+        Order of operations: add the slot's residual (error feedback),
+        sparsify, quantize the survivors, store the new residual
+        (input minus reconstruction), return the reconstruction + bytes.
+        """
+        spec = self.spec
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ValueError("payload must be a flat vector")
+        if spec.error_feedback:
+            residual = self._residuals.get(slot)
+            if residual is not None:
+                vec = vec + residual
+        dim = vec.size
+        if spec.sparsify == "none":
+            indices = None
+            survivors = vec
+        else:
+            k = spec.keep_count(dim)
+            if spec.sparsify == "topk":
+                indices = topk_indices(vec, k)
+            else:
+                indices = randk_indices(dim, k, self.rng)
+            survivors = vec[indices]
+        if spec.quantize_bits is not None:
+            block = quantize_stochastic(survivors, spec.quantize_bits, self.rng)
+            sent = dequantize(block)
+            value_bytes = block.nbytes
+        else:
+            sent = survivors
+            value_bytes = 8 * survivors.size
+        if indices is None:
+            dense = np.array(sent, copy=True)
+            nbytes = value_bytes
+            kept = dim
+        else:
+            dense = scatter(indices, sent, dim)
+            nbytes = indices.size * spec.index_bytes + value_bytes
+            kept = indices.size
+        if spec.error_feedback:
+            self._residuals[slot] = vec - dense
+        return CompressedPayload(dense=dense, nbytes=int(nbytes), kept=kept)
+
+    def compress_uplink(self, silo: int, payload: np.ndarray) -> CompressedPayload:
+        """Compress silo ``silo``'s post-noise uplink payload."""
+        if not 0 <= silo < self.n_silos:
+            raise ValueError("unknown silo id")
+        return self.compress(silo, payload)
+
+    def compress_downlink(self, update: np.ndarray) -> CompressedPayload:
+        """Compress the server's broadcast model update."""
+        return self.compress(DOWNLINK_SLOT, update)
+
+    def draw_support(self, dim: int) -> np.ndarray:
+        """One shared random-k support (the secure path's round support).
+
+        Drawn from the compressor's private stream; in deployment the
+        support derives from the silos' shared seed R, so indices never
+        cross the wire (the byte accounting assumes that).
+        """
+        if self.spec.sparsify != "randk":
+            raise ValueError("shared supports require sparsify='randk'")
+        return randk_indices(dim, self.spec.keep_count(dim), self.rng)
+
+    # -- byte accounting -----------------------------------------------------
+
+    def estimated_payload_bytes(self, dim: int | None = None) -> int:
+        """Analytic per-payload wire size (the bandwidth models' input)."""
+        return self.spec.payload_bytes(self.dim if dim is None else dim)
+
+    def residual(self, slot: int) -> np.ndarray | None:
+        """The slot's current error-feedback residual (None before any)."""
+        return self._residuals.get(slot)
+
+    # -- checkpoint serialisation --------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Dynamic state (RNG + residuals); spec/shape are reconstructed."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "residuals": {
+                int(slot): residual.copy()
+                for slot, residual in self._residuals.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-identical resume)."""
+        self.rng.bit_generator.state = state["rng"]
+        self._residuals = {
+            int(slot): np.asarray(residual, dtype=np.float64).copy()
+            for slot, residual in state["residuals"].items()
+        }

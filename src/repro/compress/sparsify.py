@@ -1,0 +1,51 @@
+"""Sparsification primitives: top-k and random-k coordinate selection.
+
+Both selectors return *sorted* index arrays so the wire format (and the
+scatter that undoes it) is canonical regardless of magnitude order, and so
+the secure path's shared support is identical on every silo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude coordinates (sorted).
+
+    Ties break deterministically toward the lower index (stable sort on
+    descending magnitude), so repeated runs -- and both training engines --
+    select identical supports.
+    """
+    v = np.asarray(values, dtype=np.float64).ravel()
+    if not 1 <= k <= v.size:
+        raise ValueError("k must lie in [1, len(values)]")
+    if k == v.size:
+        return np.arange(v.size, dtype=np.int64)
+    order = np.argsort(-np.abs(v), kind="stable")
+    return np.sort(order[:k]).astype(np.int64)
+
+
+def randk_indices(dim: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniform random ``k``-subset of ``[0, dim)`` (sorted).
+
+    Data-independent by construction -- the only sparsifier admissible
+    *before* noise (the secure path) without a privacy argument about the
+    support itself.
+    """
+    if not 1 <= k <= dim:
+        raise ValueError("k must lie in [1, dim]")
+    return np.sort(rng.choice(dim, size=k, replace=False)).astype(np.int64)
+
+
+def scatter(indices: np.ndarray, values: np.ndarray, dim: int) -> np.ndarray:
+    """Dense ``dim``-vector with ``values`` at ``indices``, zeros elsewhere."""
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if indices.shape != values.shape:
+        raise ValueError("indices and values must have matching shapes")
+    if indices.size and (indices.min() < 0 or indices.max() >= dim):
+        raise ValueError("indices out of range")
+    dense = np.zeros(dim)
+    dense[indices] = values
+    return dense

@@ -24,9 +24,10 @@ from repro.core.methods import (
     build_group_flags,
     resolve_group_size,
 )
-from repro.core.methods.base import ParticipationSummary
+from repro.core.methods.base import CommSummary, ParticipationSummary
 from repro.core.metrics import evaluate_model, make_batched_loss, make_loss, metric_name
 from repro.core.trainer import (
+    CommRecord,
     ParticipationRecord,
     RoundRecord,
     Trainer,
@@ -67,6 +68,8 @@ __all__ = [
     "make_batched_loss",
     "make_loss",
     "metric_name",
+    "CommRecord",
+    "CommSummary",
     "ParticipationRecord",
     "ParticipationSummary",
     "RoundRecord",

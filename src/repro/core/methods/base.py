@@ -19,6 +19,13 @@ computation through the batched engine of :mod:`repro.core.engine`.  Both
 engines consume the shared RNG identically and agree on round aggregates
 to within floating-point reassociation.
 
+Methods may also carry a :class:`repro.compress.CompressionSpec`
+(constructor argument or assigned by the trainer's ``compression=``):
+:meth:`FLMethod.prepare` builds the stateful
+:class:`repro.compress.UpdateCompressor` from it, and compressing methods
+(the ULDP-AVG family) apply it strictly post-noise, reporting the round's
+wire bytes through :attr:`FLMethod.last_comm`.
+
 ``round`` accepts an optional
 :class:`repro.core.weighting.RoundParticipation` describing which silos
 and users take part (the :mod:`repro.sim` runtime's dropout/churn roster).
@@ -34,6 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compress import CompressionSpec, UpdateCompressor
 from repro.core.engine import (
     LocalJob,
     batched_gradients,
@@ -58,14 +66,31 @@ class ParticipationSummary:
     users_seen: int
 
 
+@dataclass(frozen=True)
+class CommSummary:
+    """Wire bytes one round actually moved (summed over silos)."""
+
+    #: Silo -> server payload bytes (compressed size when compressing).
+    uplink_bytes: int
+    #: Server -> silo broadcast bytes (per-silo size times recipients).
+    downlink_bytes: int
+
+
 class FLMethod(ABC):
     """Base class for federated optimisation methods."""
 
     name: str = "base"
     #: Whether the method consumes privacy budget (False only for DEFAULT).
     is_private: bool = True
+    #: Whether :meth:`round` applies lossy update compression itself.
+    #: Methods without it still accept an identity spec (byte accounting).
+    supports_compression: bool = False
 
-    def __init__(self, engine: str = "vectorized"):
+    def __init__(
+        self,
+        engine: str = "vectorized",
+        compression: CompressionSpec | None = None,
+    ):
         self.engine = validate_engine(engine)
         self.fed: FederatedDataset | None = None
         self.model: Sequential | None = None
@@ -73,6 +98,15 @@ class FLMethod(ABC):
         #: Set by :meth:`round`: realised participation of the last round
         #: (None until the first round; the trainer records it per round).
         self.last_participation: ParticipationSummary | None = None
+        #: The update-compression recipe (None = dense, no byte ledger
+        #: beyond the trainer's dense default).  The trainer's
+        #: ``compression=`` argument overrides this before ``prepare``.
+        self.compression = compression
+        #: Stateful compressor, built by :meth:`prepare` from the spec.
+        self.compressor: UpdateCompressor | None = None
+        #: Set by :meth:`round`: wire bytes of the last round (None for
+        #: methods that leave byte accounting to the trainer's default).
+        self.last_comm: CommSummary | None = None
 
     def prepare(
         self, fed: FederatedDataset, model: Sequential, rng: np.random.Generator
@@ -81,6 +115,16 @@ class FLMethod(ABC):
         self.fed = fed
         self.model = model
         self.rng = rng
+        if self.compression is not None:
+            if not self.compression.is_identity and not self.supports_compression:
+                raise NotImplementedError(
+                    f"{type(self).__name__} does not implement lossy update "
+                    "compression; use CompressionSpec.none() for byte "
+                    "accounting only, or a UldpAvg-family method"
+                )
+            self.compressor = UpdateCompressor(
+                self.compression, fed.n_silos, model.num_params
+            )
 
     @abstractmethod
     def round(

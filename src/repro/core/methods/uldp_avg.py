@@ -28,9 +28,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accounting import PrivacyAccountant
+from repro.compress import CompressionSpec
 from repro.core.clipping import clip_factor, l2_clip
 from repro.core.engine import batched_clipped_local_deltas
-from repro.core.methods.base import FLMethod, ParticipationSummary
+from repro.core.methods.base import CommSummary, FLMethod, ParticipationSummary
 from repro.core.weighting import (
     RoundParticipation,
     participation_weights,
@@ -60,9 +61,20 @@ class _RoundContributions(list):
 
 
 class UldpAvg(FLMethod):
-    """The paper's primary method (Algorithm 3, AVG variant)."""
+    """The paper's primary method (Algorithm 3, AVG variant).
+
+    ``compression`` (a :class:`repro.compress.CompressionSpec`) compresses
+    the wire payloads strictly post-noise: each silo's *noisy* weighted
+    delta sum is sparsified/quantized on the uplink (optionally through a
+    per-silo error-feedback accumulator), and with ``downlink=True`` the
+    server's broadcast update is compressed too.  The accountant sees the
+    exact same calls as the uncompressed run -- compression is pure
+    post-processing -- and ``CompressionSpec.none()`` reproduces the dense
+    trainer bit for bit.
+    """
 
     name = "ULDP-AVG"
+    supports_compression = True
 
     def __init__(
         self,
@@ -76,8 +88,9 @@ class UldpAvg(FLMethod):
         batch_size: int | None = None,
         record_clip_stats: bool = False,
         engine: str = "vectorized",
+        compression: CompressionSpec | None = None,
     ):
-        super().__init__(engine=engine)
+        super().__init__(engine=engine, compression=compression)
         if clip <= 0:
             raise ValueError("clip bound must be positive")
         if noise_multiplier < 0:
@@ -108,6 +121,9 @@ class UldpAvg(FLMethod):
         # how many silos share the noise budget.
         self._active_silo_mask: np.ndarray | None = None
         self._noise_silos: int | None = None
+        # Set by _aggregate (and the SecureUldpAvg override): uplink wire
+        # bytes of the round just aggregated.
+        self._round_uplink_bytes: int | None = None
 
     @property
     def display_name(self) -> str:
@@ -146,6 +162,7 @@ class UldpAvg(FLMethod):
                 # Every silo is down: the round releases nothing and costs
                 # no budget (logged so the honesty report sees the gap).
                 self.last_participation = ParticipationSummary(0, 0)
+                self.last_comm = CommSummary(0, 0)
                 self.accountant.step_release(
                     self.noise_multiplier, sample_rate=q if q else 1.0,
                     sensitivity=0.0, noise_scale=0.0,
@@ -190,7 +207,23 @@ class UldpAvg(FLMethod):
             )
         scale = fed.n_users * fed.n_silos * (q if q is not None else 1.0)
         assert self.global_lr is not None
-        return params + self.global_lr * aggregate / scale
+        update = self.global_lr * aggregate / scale
+        silos_seen = self.last_participation.silos_seen
+        comp = self.compressor
+        if comp is not None and comp.spec.downlink and not comp.spec.is_identity:
+            broadcast = comp.compress_downlink(update)
+            update = broadcast.dense
+            downlink_per_silo = broadcast.nbytes
+        else:
+            downlink_per_silo = params.size * 8
+        uplink = (
+            self._round_uplink_bytes
+            if self._round_uplink_bytes is not None
+            else silos_seen * params.size * 8
+        )
+        self.last_comm = CommSummary(uplink, downlink_per_silo * silos_seen)
+        self._round_uplink_bytes = None
+        return params + update
 
     def _compute_contributions(
         self, params: np.ndarray, round_weights: np.ndarray
@@ -323,7 +356,17 @@ class UldpAvg(FLMethod):
         :class:`repro.protocol.SecureUldpAvg` overrides this with the real
         cryptographic Protocol 1 and is tested to produce the same result
         within fixed-point precision (Theorem 4).
+
+        With a lossy :class:`CompressionSpec` the aggregation routes
+        through :meth:`_aggregate_compressed` instead, which forms each
+        silo's *noisy* payload explicitly before compressing it (the
+        matmul below never materialises per-silo sums).  The identity
+        spec keeps this exact code path, which is what the oracle test
+        pins bit for bit.
         """
+        if self.compressor is not None and not self.compressor.spec.is_identity:
+            return self._aggregate_compressed(contributions, noises, round_weights)
+        self._round_uplink_bytes = len(noises) * noises[0].size * 8
         aggregate = np.sum(noises, axis=0)
         matrix = getattr(contributions, "matrix", None)
         if matrix is not None:
@@ -340,6 +383,62 @@ class UldpAvg(FLMethod):
             weights = np.array([round_weights[s, user] for user in per_user])
             aggregate = aggregate + weights @ np.stack(list(per_user.values()))
         return aggregate
+
+    def _aggregate_compressed(
+        self,
+        contributions: list[dict[int, np.ndarray]],
+        noises: list[np.ndarray],
+        round_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Per-silo noisy payloads, compressed on the uplink, then summed.
+
+        Each active silo's payload ``sum_u w[s,u] * delta_su + z_s`` is
+        formed explicitly -- compression must see exactly what crosses the
+        wire, strictly post-noise -- then routed through the compressor's
+        per-silo error-feedback loop.  The server sums the reconstructions,
+        which still simulates secure aggregation (only the sum is used).
+        """
+        comp = self.compressor
+        assert comp is not None
+        active = self._active_silo_mask
+        aggregate = np.zeros_like(noises[0])
+        uplink = 0
+        noise_index = 0
+        # When the vectorized engine produced the rows as one contiguous
+        # matrix, each silo's rows are a consecutive slice (same order the
+        # dicts were built in) -- slice instead of re-stacking the views.
+        matrix = getattr(contributions, "matrix", None)
+        row = 0
+        for s, per_user in enumerate(contributions):
+            if active is not None and not active[s]:
+                continue  # dropped silo: no payload, no noise slot
+            payload = noises[noise_index]
+            noise_index += 1
+            if per_user:
+                weights = np.array([round_weights[s, user] for user in per_user])
+                if matrix is not None:
+                    rows = matrix[row : row + len(per_user)]
+                else:
+                    rows = np.stack(list(per_user.values()))
+                payload = payload + weights @ rows
+            row += len(per_user)
+            sent = comp.compress_uplink(s, payload)
+            aggregate += sent.dense
+            uplink += sent.nbytes
+        self._round_uplink_bytes = uplink
+        return aggregate
+
+    def uplink_payload_bytes(self) -> int:
+        """One silo's per-round uplink wire size (the bandwidth models' input).
+
+        The compressed estimate when a compressor is active, dense float64
+        otherwise; :class:`repro.protocol.SecureUldpAvg` overrides this
+        with ciphertext sizes.
+        """
+        _, model, _ = self._require_prepared()
+        if self.compressor is not None:
+            return self.compressor.estimated_payload_bytes(model.num_params)
+        return model.num_params * 8
 
     # -- per-silo step API (buffered-async simulation) -----------------------
 

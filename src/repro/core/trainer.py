@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compress import CompressionSpec
 from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.metrics import evaluate_model, metric_name
 from repro.core.weighting import RoundParticipation
@@ -69,6 +70,22 @@ class ParticipationRecord:
     users_seen: int
 
 
+@dataclass(frozen=True)
+class CommRecord:
+    """Wire traffic of one training round (all rounds logged).
+
+    Compressing methods report the compressed sizes; everything else is
+    charged the dense float64 default (``silos_seen * params * 8`` each
+    way), so byte columns are comparable across methods.
+    """
+
+    round: int
+    #: Total silo -> server payload bytes this round.
+    uplink_bytes: int
+    #: Total server -> silo broadcast bytes this round.
+    downlink_bytes: int
+
+
 @dataclass
 class TrainingHistory:
     """Round-by-round metrics, one record per evaluated round."""
@@ -82,6 +99,9 @@ class TrainingHistory:
     #: Per-round participation (all rounds, evaluated or not); under the
     #: plain trainer every round sees the full federation.
     participation: list[ParticipationRecord] = field(default_factory=list)
+    #: Per-round wire traffic (all rounds, evaluated or not); the
+    #: compression benches and the bandwidth-constrained scenarios read it.
+    comm: list[CommRecord] = field(default_factory=list)
 
     @property
     def total_round_seconds(self) -> float:
@@ -95,6 +115,24 @@ class TrainingHistory:
         silos = [p.silos_seen for p in self.participation]
         users = [p.users_seen for p in self.participation]
         return float(np.mean(silos)), float(np.mean(users))
+
+    def comm_summary(self) -> tuple[float, float] | None:
+        """Mean per-round (uplink, downlink) bytes, or None when unlogged."""
+        if not self.comm:
+            return None
+        up = [c.uplink_bytes for c in self.comm]
+        down = [c.downlink_bytes for c in self.comm]
+        return float(np.mean(up)), float(np.mean(down))
+
+    @property
+    def total_uplink_bytes(self) -> int:
+        """Total silo -> server bytes across all recorded rounds."""
+        return int(sum(c.uplink_bytes for c in self.comm))
+
+    @property
+    def total_downlink_bytes(self) -> int:
+        """Total server -> silo bytes across all recorded rounds."""
+        return int(sum(c.downlink_bytes for c in self.comm))
 
     @property
     def final(self) -> RoundRecord:
@@ -137,6 +175,7 @@ class Trainer:
         delta: float = 1e-5,
         seed: int = 0,
         eval_every: int = 1,
+        compression: CompressionSpec | None = None,
     ):
         if rounds < 1:
             raise ValueError("need at least one round")
@@ -151,6 +190,10 @@ class Trainer:
         self.eval_every = eval_every
         self.rng = np.random.default_rng(seed)
         self.model = model if model is not None else default_model_for(fed, self.rng)
+        if compression is not None:
+            # The trainer-level spec overrides a method-level one; the
+            # method's prepare() below builds the compressor from it.
+            method.compression = compression
         method.prepare(fed, self.model, self.rng)
         label = getattr(method, "display_name", method.name)
         self.history = TrainingHistory(method=label, dataset=fed.name)
@@ -214,6 +257,7 @@ class Trainer:
         t = self._round
         self.history.round_seconds.append(seconds)
         self.history.participation.append(self._participation_record(t, participation))
+        self.history.comm.append(self._comm_record(t))
         self._round += 1
         record = None
         if self._round % self.eval_every == 0 or self._round == self.rounds:
@@ -236,6 +280,20 @@ class Trainer:
         return ParticipationRecord(
             t + 1, participation.n_active_silos, self.fed.n_users
         )
+
+    def _comm_record(self, t: int) -> CommRecord:
+        """The round's wire traffic (method-reported when known).
+
+        Methods that track bytes themselves (the compressing ULDP-AVG
+        family) report through ``last_comm``; everything else is charged
+        the dense float64 default so byte columns stay comparable.
+        """
+        summary = self.method.last_comm
+        if summary is not None:
+            return CommRecord(t + 1, summary.uplink_bytes, summary.downlink_bytes)
+        silos_seen = self.history.participation[-1].silos_seen
+        dense = self._params.size * 8
+        return CommRecord(t + 1, silos_seen * dense, silos_seen * dense)
 
     def _evaluate(self) -> RoundRecord:
         """Evaluate the current params; appends and returns the record."""

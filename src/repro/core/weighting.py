@@ -68,6 +68,11 @@ def validate_weights(weights: np.ndarray, atol: float = 1e-9) -> None:
     w = np.asarray(weights, dtype=np.float64)
     if w.ndim != 2:
         raise ValueError("weights must be a (|S|, |U|) matrix")
+    # NaN compares False against every bound, so the sign and column-sum
+    # checks below would silently wave a NaN matrix through -- reject
+    # non-finite entries explicitly first.
+    if not np.all(np.isfinite(w)):
+        raise ValueError("weights must be finite")
     if np.any(w < -atol):
         raise ValueError("weights must be non-negative")
     col_sums = w.sum(axis=0)
@@ -80,8 +85,16 @@ def subsample_weights(
 ) -> np.ndarray:
     """Zero the columns of non-sampled users (Algorithm 4, lines 4-7)."""
     w = np.array(weights, dtype=np.float64, copy=True)
+    sampled = np.asarray(sampled_users, dtype=np.int64)
+    # Fancy indexing would silently wrap negative ids to the *end* of the
+    # user axis (sampling the wrong user); ids past the end would raise a
+    # cryptic IndexError.  Validate the range explicitly.
+    if sampled.size and (sampled.min() < 0 or sampled.max() >= w.shape[1]):
+        raise ValueError(
+            f"sampled user ids must lie in [0, {w.shape[1]}) "
+        )
     mask = np.zeros(w.shape[1], dtype=bool)
-    mask[np.asarray(sampled_users, dtype=np.int64)] = True
+    mask[sampled] = True
     w[:, ~mask] = 0.0
     return w
 
@@ -108,7 +121,8 @@ class RoundParticipation:
             noise accounting, biased aggregate); ``"survivors"`` rescales
             each user's surviving weights so the column sum is restored to
             its full-participation value (unbiased aggregate, sensitivity
-            still <= C); ``"carryover"`` applies ``silo_gain``.
+            still <= C); ``"carryover"`` applies ``silo_gain`` (which is
+            required in that mode -- construction fails without it).
         noise_rescale: when True (default) the surviving silos inflate
             their per-silo noise to ``sigma * C / sqrt(A)`` (A = number of
             noise-contributing silos) so the summed noise keeps std
@@ -126,6 +140,15 @@ class RoundParticipation:
     def __post_init__(self):
         if self.renorm not in RENORMS:
             raise ValueError(f"renorm must be one of {RENORMS}")
+        if self.renorm == "carryover" and self.silo_gain is None:
+            # Without gains, carryover would silently degrade to
+            # renorm="none" (the weight application skips the gain step),
+            # so a caller asking for make-up semantics would get neither
+            # the make-up nor an error.  Fail at construction instead.
+            raise ValueError(
+                "renorm='carryover' requires silo_gain (per-silo make-up "
+                "multipliers); use renorm='none' to keep surviving weights"
+            )
         object.__setattr__(
             self, "silo_mask", np.asarray(self.silo_mask, dtype=bool)
         )
@@ -173,7 +196,8 @@ def participation_weights(
         with np.errstate(invalid="ignore", divide="ignore"):
             factor = np.where(surviving > 0, target / np.where(surviving > 0, surviving, 1.0), 0.0)
         w = w * factor
-    elif participation.renorm == "carryover" and participation.silo_gain is not None:
+    elif participation.renorm == "carryover":
+        # Construction guarantees silo_gain is present for carryover.
         w = w * participation.silo_gain[:, None]
     return w
 

@@ -127,6 +127,16 @@ class PrivateWeightingProtocol:
     def __del__(self):
         self.close()
 
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Wire size of one Paillier ciphertext (an element of Z_{n^2}).
+
+        The unit of Protocol 1's uplink byte accounting: a round ships one
+        ciphertext per coordinate per silo, so sparsifying to k surviving
+        coordinates shrinks the uplink by exactly d/k.
+        """
+        return (self.server.public_key.n_squared.bit_length() + 7) // 8
+
     def _effective_workers(self) -> int:
         if self.workers is not None:
             return max(1, min(self.workers, self.n_silos))

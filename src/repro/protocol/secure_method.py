@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.compress import CompressionSpec, scatter
 from repro.core.methods.uldp_avg import UldpAvg
 from repro.protocol.oblivious import PrivateSubsampler
 from repro.protocol.runner import PrivateWeightingProtocol
@@ -36,6 +37,17 @@ class SecureUldpAvg(UldpAvg):
     randomizer pools, across-silo process parallelism via
     ``protocol_workers``) or "reference" (the seed implementation).  Both
     produce identical training histories under a seeded protocol RNG.
+
+    ``compression`` admits only ``sparsify="randk"`` (or the identity):
+    every silo restricts its encrypted round to the *same* random support
+    derived from the compressor's shared stream, so the pairwise masks
+    still cancel and -- because the support is data-independent -- the
+    unsent coordinates release nothing about the data.  Top-k is rejected
+    (a data-dependent support chosen *before* noise would itself leak, and
+    per-silo supports would desynchronise the masking); quantization is
+    rejected (Paillier ciphertexts have fixed width -- shrinking the
+    plaintext saves nothing); error feedback and downlink compression are
+    rejected (out of scope for the encrypted path).
     """
 
     name = "ULDP-AVG-w (secure)"
@@ -57,6 +69,7 @@ class SecureUldpAvg(UldpAvg):
         engine: str = "vectorized",
         crypto_backend: str = "fast",
         protocol_workers: int | None = None,
+        compression: CompressionSpec | None = None,
     ):
         if private_subsampling_slots is not None:
             if user_sample_rate is not None:
@@ -79,6 +92,7 @@ class SecureUldpAvg(UldpAvg):
             user_sample_rate=user_sample_rate,
             batch_size=batch_size,
             engine=engine,
+            compression=compression,
         )
         self.n_max = n_max
         self.paillier_bits = paillier_bits
@@ -94,7 +108,30 @@ class SecureUldpAvg(UldpAvg):
     def display_name(self) -> str:
         return self.name
 
+    @staticmethod
+    def _validate_compression(spec: CompressionSpec | None) -> None:
+        """Reject specs the encrypted path cannot honour (see class doc)."""
+        if spec is None or spec.is_identity:
+            return
+        if spec.sparsify != "randk":
+            raise ValueError(
+                "the secure protocol admits only sparsify='randk': the "
+                "support must be data-independent (it is chosen before "
+                "noise) and shared by every silo (mask cancellation)"
+            )
+        if spec.quantize_bits is not None:
+            raise ValueError(
+                "quantization does not shrink fixed-width Paillier "
+                "ciphertexts; use quantize_bits=None with the secure path"
+            )
+        if spec.error_feedback or spec.downlink:
+            raise ValueError(
+                "error feedback and downlink compression are not "
+                "implemented for the secure path"
+            )
+
     def prepare(self, fed, model, rng) -> None:
+        self._validate_compression(self.compression)
         super().prepare(fed, model, rng)
         n_max = max(self.n_max, int(fed.user_totals().max(initial=1)))
         self.protocol = PrivateWeightingProtocol(
@@ -146,14 +183,58 @@ class SecureUldpAvg(UldpAvg):
         weights.  With the OT extension, the sampled set is implicit: the
         PRG-derived slot choice selects real weights or Enc(0) dummies and
         no party learns which.
+
+        With ``sparsify="randk"`` compression, the round first restricts
+        every delta and noise vector to one shared random support (drawn
+        per round from the compressor's stream -- in deployment, from the
+        silos' shared seed R, so indices never cross the wire): Protocol 1
+        then encrypts, masks, sums, and decrypts only the k surviving
+        coordinates, and the decoded sub-aggregate is scattered back into
+        the d-dimensional update with exact zeros elsewhere.  The uplink
+        shrinks from ``d`` to ``k`` ciphertexts per silo.
         """
         assert self.protocol is not None
+        dim = len(noises[0])
+        support = None
+        comp = self.compressor
+        if comp is not None and comp.spec.sparsify == "randk":
+            support = comp.draw_support(dim)
+            contributions = [
+                {user: delta[support] for user, delta in per_silo.items()}
+                for per_silo in contributions
+            ]
+            noises = [noise[support] for noise in noises]
         if self.subsampler is not None:
-            return self.protocol.run_round_ot_sampling(
+            sub_aggregate = self.protocol.run_round_ot_sampling(
                 contributions, noises, self.subsampler
             )
-        sampled = np.where(round_weights.sum(axis=0) > 0)[0]
-        return self.protocol.run_round(contributions, noises, sampled_users=sampled)
+        else:
+            sampled = np.where(round_weights.sum(axis=0) > 0)[0]
+            sub_aggregate = self.protocol.run_round(
+                contributions, noises, sampled_users=sampled
+            )
+        self._round_uplink_bytes = (
+            self.fed.n_silos * len(noises[0]) * self.protocol.ciphertext_bytes
+        )
+        if support is None:
+            return sub_aggregate
+        return scatter(support, sub_aggregate, dim)
+
+    def uplink_payload_bytes(self) -> int:
+        """One silo's uplink in *ciphertext* bytes (not plaintext floats).
+
+        A secure round ships one Paillier ciphertext per surviving
+        coordinate, so bandwidth models must budget ``k * |Z_{n^2}|``
+        bytes -- typically 8-100x the plaintext estimate the base class
+        would report.
+        """
+        assert self.protocol is not None
+        _, model, _ = self._require_prepared()
+        dim = model.num_params
+        comp = self.compressor
+        if comp is not None and comp.spec.sparsify == "randk":
+            dim = comp.spec.keep_count(dim)
+        return dim * self.protocol.ciphertext_bytes
 
     def timing_report(self) -> dict[str, float]:
         """Per-phase wall-clock totals (for the Fig. 10/11 benches)."""

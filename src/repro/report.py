@@ -13,7 +13,12 @@ import json
 import math
 from pathlib import Path
 
-from repro.core.trainer import ParticipationRecord, RoundRecord, TrainingHistory
+from repro.core.trainer import (
+    CommRecord,
+    ParticipationRecord,
+    RoundRecord,
+    TrainingHistory,
+)
 
 #: Characters for one-line sparklines, low to high.
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -96,25 +101,39 @@ def histories_chart(
     return ascii_chart(series, **kwargs)
 
 
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (KB/MB/GB, decimal units)."""
+    if n < 1e3:
+        return f"{n:.0f}B"
+    for unit, scale in (("KB", 1e3), ("MB", 1e6), ("GB", 1e9)):
+        if n < 1e3 * scale:
+            return f"{n / scale:.1f}{unit}"
+    return f"{n / 1e12:.1f}TB"
+
+
 def comparison_table(histories: list[TrainingHistory]) -> str:
     """Final-round comparison with sparkline trajectories.
 
     The ``seen`` column reports the mean per-round participation as
     ``<silos>s/<users>u`` (who actually contributed under dropout/churn);
-    histories recorded before the participation log show ``-``.
+    the ``up/rd`` column reports the mean per-round uplink bytes (the
+    compressed wire size when update compression is active).  Histories
+    recorded before either log show ``-``.
     """
     lines = [
         f"{'method':<24s} {'metric':>8s} {'loss':>10s} {'eps':>10s} "
-        f"{'seen':>12s}  trajectory"
+        f"{'seen':>12s} {'up/rd':>9s}  trajectory"
     ]
     for h in histories:
         f = h.final
         eps = "   (none)" if f.epsilon is None else f"{f.epsilon:10.3f}"
         summary = h.participation_summary()
         seen = "-" if summary is None else f"{summary[0]:.1f}s/{summary[1]:.1f}u"
+        comm = h.comm_summary()
+        uplink = "-" if comm is None else format_bytes(comm[0])
         lines.append(
             f"{h.method:<24s} {f.metric:8.4f} {f.loss:10.4f} {eps:>10s} "
-            f"{seen:>12s}  {sparkline(h.series('metric'))}"
+            f"{seen:>12s} {uplink:>9s}  {sparkline(h.series('metric'))}"
         )
     return "\n".join(lines)
 
@@ -125,8 +144,8 @@ def comparison_table(histories: list[TrainingHistory]) -> str:
 def history_to_dict(history: TrainingHistory) -> dict:
     """Plain-dict form of a history (stable schema, version-tagged).
 
-    The participation log rides along under an optional key, so archives
-    written by older versions (without it) still load.
+    The participation and wire-traffic logs ride along under optional
+    keys, so archives written by older versions (without them) still load.
     """
     data = {
         "schema": "uldp-fl-history/v1",
@@ -147,6 +166,15 @@ def history_to_dict(history: TrainingHistory) -> dict:
         data["participation"] = [
             {"round": p.round, "silos_seen": p.silos_seen, "users_seen": p.users_seen}
             for p in history.participation
+        ]
+    if history.comm:
+        data["comm"] = [
+            {
+                "round": c.round,
+                "uplink_bytes": c.uplink_bytes,
+                "downlink_bytes": c.downlink_bytes,
+            }
+            for c in history.comm
         ]
     return data
 
@@ -172,6 +200,14 @@ def history_from_dict(data: dict) -> TrainingHistory:
                 round=int(p["round"]),
                 silos_seen=int(p["silos_seen"]),
                 users_seen=int(p["users_seen"]),
+            )
+        )
+    for c in data.get("comm", []):
+        history.comm.append(
+            CommRecord(
+                round=int(c["round"]),
+                uplink_bytes=int(c["uplink_bytes"]),
+                downlink_bytes=int(c["downlink_bytes"]),
             )
         )
     return history

@@ -24,6 +24,7 @@ survive:
 
 from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 from repro.sim.participation import (
+    BandwidthModel,
     ChurnProcess,
     IidSiloDropout,
     LogNormalLatency,
@@ -51,6 +52,7 @@ from repro.sim.scenarios import (
 __all__ = [
     "load_checkpoint",
     "save_checkpoint",
+    "BandwidthModel",
     "ChurnProcess",
     "IidSiloDropout",
     "LogNormalLatency",

@@ -7,6 +7,10 @@ queries once per round:
 - latency models answer "how long does each silo's local work take?"
   (abstract time units; the semi-synchronous policy compares them to its
   deadline, the async policy uses them to order completion events);
+- :class:`BandwidthModel` answers "how long does shipping the round's
+  uplink payload take, and does it fit the silo's byte budget at all?" --
+  the piece that makes update compression interact with stragglers and
+  dropout (compressed payloads transmit faster and fit tighter caps);
 - :class:`ChurnProcess` drives arrivals/departures on a
   :class:`repro.sim.population.ShardedUserPopulation`.
 
@@ -110,6 +114,80 @@ class LogNormalLatency:
                 raise ValueError("need one speed factor per silo")
             lat = lat * speed
         return lat
+
+
+# -- uplink bandwidth ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Per-silo uplink links: transmission time plus optional byte caps.
+
+    The scheduler asks the method for its per-silo uplink payload size
+    (compressed when a :class:`repro.compress.CompressionSpec` is active,
+    dense ``8 * d`` otherwise) and this model turns bytes into round
+    dynamics:
+
+    - **transmission time** ``bytes / (rate * silo_rate[s])`` is added to
+      the silo's compute latency, so heavy payloads straggle (and miss
+      semi-synchronous deadlines) even on fast compute;
+    - **byte caps** exclude a silo outright when its payload exceeds the
+      per-round uplink budget -- the regime where dense float64 rounds
+      simply cannot participate and compression is what admits them.
+
+    Attributes:
+        rate: baseline uplink bytes per abstract clock unit.
+        silo_rate: optional per-silo rate multipliers (heterogeneous
+            links; < 1 = slower silo).
+        byte_cap: per-round uplink budget in bytes -- one scalar for a
+            federation-wide cap or one value per silo; None disables caps.
+    """
+
+    rate: float
+    silo_rate: tuple[float, ...] | None = None
+    byte_cap: float | tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("uplink rate must be positive")
+        if self.silo_rate is not None and any(r <= 0 for r in self.silo_rate):
+            raise ValueError("silo rate multipliers must be positive")
+        caps = (
+            self.byte_cap
+            if isinstance(self.byte_cap, tuple)
+            else (self.byte_cap,)
+        )
+        if self.byte_cap is not None and any(c <= 0 for c in caps):
+            raise ValueError("byte caps must be positive")
+
+    def _rates(self, n_silos: int) -> np.ndarray:
+        rates = np.full(n_silos, float(self.rate))
+        if self.silo_rate is not None:
+            multipliers = np.asarray(self.silo_rate, dtype=np.float64)
+            if len(multipliers) != n_silos:
+                raise ValueError("need one rate multiplier per silo")
+            rates = rates * multipliers
+        return rates
+
+    def transmission_times(self, payload_bytes: float, n_silos: int) -> np.ndarray:
+        """Per-silo clock units spent shipping one uplink payload."""
+        if payload_bytes < 0:
+            raise ValueError("payload bytes must be non-negative")
+        return payload_bytes / self._rates(n_silos)
+
+    def admitted(self, payload_bytes: float, n_silos: int) -> np.ndarray:
+        """Boolean mask of silos whose payload fits their byte cap."""
+        if self.byte_cap is None:
+            return np.ones(n_silos, dtype=bool)
+        caps = np.asarray(
+            self.byte_cap
+            if isinstance(self.byte_cap, tuple)
+            else [self.byte_cap] * n_silos,
+            dtype=np.float64,
+        )
+        if len(caps) != n_silos:
+            raise ValueError("need one byte cap per silo")
+        return payload_bytes <= caps
 
 
 # -- user churn ----------------------------------------------------------------

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compress import CompressionSpec
 from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.weighting import (
@@ -39,7 +40,12 @@ from repro.core.weighting import (
 )
 from repro.data.federated import FederatedDataset
 from repro.nn.model import Sequential
-from repro.sim.participation import ChurnProcess, NoDropout, NoLatency
+from repro.sim.participation import (
+    BandwidthModel,
+    ChurnProcess,
+    NoDropout,
+    NoLatency,
+)
 from repro.sim.policies import (
     BufferedAsyncPolicy,
     SemiSyncPolicy,
@@ -71,6 +77,12 @@ class SimConfig:
     eval_every: int = 1
     delta: float = 1e-5
     seed: int = 0
+    #: Update-compression recipe handed to the trainer/method (post-noise;
+    #: the accounting is untouched).  None = dense payloads.
+    compression: CompressionSpec | None = None
+    #: Uplink bandwidth model: transmission time joins the compute latency
+    #: and byte caps exclude silos whose payload does not fit.
+    bandwidth: BandwidthModel | None = None
 
     def __post_init__(self):
         if self.rounds < 1:
@@ -116,6 +128,7 @@ class FederationSimulator:
             delta=config.delta,
             seed=config.seed,
             eval_every=config.eval_every,
+            compression=config.compression,
         )
         self.sim_rng = np.random.default_rng([config.seed, _SIM_STREAM])
         self.population = (
@@ -133,6 +146,19 @@ class FederationSimulator:
                 raise TypeError(
                     "buffered-async aggregation needs the per-silo step API "
                     "(UldpAvg and subclasses)"
+                )
+            spec = config.compression or getattr(method, "compression", None)
+            if spec is not None and not spec.is_identity:
+                raise ValueError(
+                    "lossy update compression is not supported with "
+                    "buffered-async aggregation (payloads bypass the "
+                    "method's round pipeline)"
+                )
+            if config.bandwidth is not None:
+                raise ValueError(
+                    "bandwidth models are not supported with buffered-async "
+                    "aggregation (transmission time and byte caps are only "
+                    "applied by the sync/semi-sync round loop)"
                 )
         #: Virtual wall-clock (abstract latency units).
         self.clock = 0.0
@@ -188,6 +214,19 @@ class FederationSimulator:
             return None
         return self.population.active_mask(0, self.fed.n_users)
 
+    def _uplink_payload_bytes(self) -> int:
+        """One silo's per-round uplink payload size.
+
+        Methods that know their wire format report it themselves
+        (compressed plaintext for the ULDP-AVG family, ciphertext bytes
+        for the secure protocol); everything else is charged the dense
+        float64 default.
+        """
+        reporter = getattr(self.method, "uplink_payload_bytes", None)
+        if callable(reporter):
+            return int(reporter())
+        return self.trainer.params.size * 8
+
     def _step_sync_like(self) -> None:
         """One synchronous or semi-synchronous round."""
         t = self.rounds_completed
@@ -196,6 +235,16 @@ class FederationSimulator:
             config.churn.step(self.population, self.sim_rng)
         up = config.dropout.draw(t, self.fed.n_silos, self.sim_rng)
         latency = config.latency.draw(t, self.fed.n_silos, self.sim_rng)
+        payload_bytes = None
+        if config.bandwidth is not None:
+            # Uplink transmission joins the compute latency, and silos
+            # whose payload blows the byte cap cannot contribute at all --
+            # the lever compression moves.
+            payload_bytes = self._uplink_payload_bytes()
+            latency = latency + config.bandwidth.transmission_times(
+                payload_bytes, self.fed.n_silos
+            )
+            up = up & config.bandwidth.admitted(payload_bytes, self.fed.n_silos)
         if isinstance(config.policy, SemiSyncPolicy):
             included = up & (latency <= config.policy.deadline)
             self.clock += config.policy.deadline
@@ -217,16 +266,17 @@ class FederationSimulator:
         # more round of weight.
         self.carry_gain[included] = 1.0
         self.carry_gain[~included] += 1.0
-        self.round_log.append(
-            {
-                "round": t + 1,
-                "policy": config.policy.name,
-                "renorm": config.renorm,
-                "silos_up": int(up.sum()),
-                "silos_included": int(included.sum()),
-                "clock": self.clock,
-            }
-        )
+        entry = {
+            "round": t + 1,
+            "policy": config.policy.name,
+            "renorm": config.renorm,
+            "silos_up": int(up.sum()),
+            "silos_included": int(included.sum()),
+            "clock": self.clock,
+        }
+        if payload_bytes is not None:
+            entry["payload_bytes"] = int(payload_bytes)
+        self.round_log.append(entry)
 
     # -- buffered-async ------------------------------------------------------
 
@@ -389,7 +439,16 @@ class FederationSimulator:
                     [p.round, p.silos_seen, p.users_seen]
                     for p in trainer.history.participation
                 ],
+                "comm": [
+                    [c.round, c.uplink_bytes, c.downlink_bytes]
+                    for c in trainer.history.comm
+                ],
             },
+            "compressor": (
+                self.method.compressor.state_dict()
+                if getattr(self.method, "compressor", None) is not None
+                else None
+            ),
             "accountant": (
                 self.method.accountant.state_dict()
                 if getattr(self.method, "accountant", None) is not None
@@ -428,7 +487,7 @@ class FederationSimulator:
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot (see checkpoint module)."""
-        from repro.core.trainer import ParticipationRecord, RoundRecord
+        from repro.core.trainer import CommRecord, ParticipationRecord, RoundRecord
 
         if state.get("schema") != "uldp-fl-sim/v1":
             raise ValueError(f"unknown simulator schema: {state.get('schema')!r}")
@@ -458,6 +517,23 @@ class FederationSimulator:
             ParticipationRecord(int(r), int(s), int(u))
             for r, s, u in state["history"]["participation"]
         ]
+        # Optional key: snapshots written before the comm ledger load fine.
+        history.comm[:] = [
+            CommRecord(int(r), int(u), int(d))
+            for r, u, d in state["history"].get("comm", [])
+        ]
+        compressor_state = state.get("compressor")
+        compressor = getattr(self.method, "compressor", None)
+        if (compressor_state is None) != (compressor is None):
+            # Either direction of this mismatch breaks bit-identical
+            # resume: restoring fresh residuals/RNG into a compressing run
+            # is as wrong as dropping saved state on the floor.
+            raise ValueError(
+                "checkpoint and rebuilt simulator disagree about update "
+                "compression; was the scenario's compression spec changed?"
+            )
+        if compressor_state is not None:
+            compressor.load_state(compressor_state)
         if state["accountant"] is not None:
             from repro.accounting import PrivacyAccountant
 

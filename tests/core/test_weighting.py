@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.weighting import (
+    RoundParticipation,
+    participation_weights,
     proportional_weights,
     subsample_weights,
     uniform_weights,
@@ -77,6 +79,24 @@ class TestValidateWeights:
         with pytest.raises(ValueError):
             validate_weights(np.ones(3))
 
+    def test_rejects_nan_entries(self):
+        # Regression: NaN compares False against every bound, so both the
+        # sign check and the column-sum check silently passed NaN matrices.
+        with pytest.raises(ValueError, match="finite"):
+            validate_weights(np.full((2, 3), np.nan))
+
+    def test_rejects_single_nan_among_valid(self):
+        w = uniform_weights(2, 3)
+        w[0, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            validate_weights(w)
+
+    def test_rejects_infinite_entries(self):
+        w = uniform_weights(2, 3)
+        w[1, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            validate_weights(w)
+
 
 class TestSubsampleWeights:
     def test_zeroes_unsampled_columns(self):
@@ -97,3 +117,33 @@ class TestSubsampleWeights:
     def test_still_valid_after_subsampling(self):
         w = proportional_weights(np.array([[3, 2, 0], [1, 0, 4]]))
         validate_weights(subsample_weights(w, np.array([0, 2])))
+
+    def test_rejects_negative_user_ids(self):
+        # Regression: numpy fancy indexing wraps -1 to the last column, so
+        # a negative id silently kept the *wrong* user's weights.
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            subsample_weights(uniform_weights(2, 4), np.array([-1, 2]))
+
+    def test_rejects_out_of_range_user_ids(self):
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            subsample_weights(uniform_weights(2, 4), np.array([0, 4]))
+
+
+class TestCarryoverRequiresGains:
+    def test_carryover_without_gains_raises(self):
+        # Regression: carryover with silo_gain=None silently degraded to
+        # renorm="none" inside participation_weights.
+        with pytest.raises(ValueError, match="carryover"):
+            RoundParticipation(
+                silo_mask=np.ones(3, dtype=bool), renorm="carryover"
+            )
+
+    def test_carryover_with_gains_still_works(self):
+        p = RoundParticipation(
+            silo_mask=np.ones(2, dtype=bool),
+            silo_gain=np.array([2.0, 1.0]),
+            renorm="carryover",
+        )
+        w = participation_weights(np.full((2, 3), 0.5), p)
+        np.testing.assert_allclose(w[0], 1.0)
+        np.testing.assert_allclose(w[1], 0.5)

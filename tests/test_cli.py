@@ -81,6 +81,36 @@ class TestTrainCommand:
         assert code == 0
         assert "(none)" in capsys.readouterr().out
 
+    def test_compressed_run_reports_wire_traffic(self, capsys):
+        code = main([
+            "train", "--dataset", "creditcard", "--method", "uldp-avg-w",
+            "--rounds", "2", "--users", "8", "--silos", "2",
+            "--records", "120", "--local-epochs", "1",
+            "--compress", "topk", "--compress-fraction", "0.05",
+            "--quantize-bits", "8", "--error-feedback",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wire traffic" in out
+
+    def test_modifier_flags_without_lossy_pipeline_rejected(self, capsys):
+        code = main([
+            "train", "--dataset", "creditcard", "--method", "uldp-avg-w",
+            "--rounds", "1", "--users", "6", "--silos", "2",
+            "--records", "80", "--local-epochs", "1", "--error-feedback",
+        ])
+        assert code == 2
+        assert "--compress" in capsys.readouterr().err
+
+    def test_lossy_compression_on_unsupported_method_rejected(self, capsys):
+        code = main([
+            "train", "--dataset", "creditcard", "--method", "default",
+            "--rounds", "1", "--users", "6", "--silos", "2",
+            "--records", "80", "--local-epochs", "1", "--compress", "topk",
+        ])
+        assert code == 2
+        assert "compression" in capsys.readouterr().err
+
     def test_heartdisease_run(self, capsys):
         code = main([
             "train", "--dataset", "heartdisease", "--method", "uldp-naive",
