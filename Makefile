@@ -6,6 +6,8 @@
 #   make bench-protocol reference vs. fast crypto backend on Protocol 1
 #   make bench-sim      simulation runtime: 1M-user population + dropout
 #   make bench-compress update compression: uplink bytes vs utility (fig05)
+#   make sweep-smoke    validate every committed spec file, then one smoke
+#                       `repro run --config` and one 2-point `repro sweep`
 #   make docs-check     doctest the docs' worked examples + docstring coverage
 #
 # bench-engine, bench-protocol, bench-sim, and bench-compress also refresh
@@ -16,7 +18,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress sweep-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +37,19 @@ bench-sim:
 
 bench-compress:
 	$(PYTHON) -m pytest benchmarks/bench_compression.py -s
+
+# Smoke the declarative surface end to end: every committed spec file
+# must validate (registry names, enums, sweep expansion), one config run
+# and one 2-point sigma grid must execute.
+sweep-smoke:
+	$(PYTHON) -m repro validate-config examples/specs/*.toml
+	$(PYTHON) -m repro run --config examples/specs/quickstart.toml \
+		--set rounds=1 --set dataset.users=8 --set dataset.silos=2 \
+		--set dataset.records=120 --set method.local_epochs=1
+	$(PYTHON) -m repro sweep --config examples/specs/quickstart.toml \
+		--set "sweep.method.sigma=[0.5,5.0]" \
+		--set rounds=1 --set dataset.users=8 --set dataset.silos=2 \
+		--set dataset.records=120 --set method.local_epochs=1
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py

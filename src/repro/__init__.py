@@ -10,8 +10,22 @@ Subpackages
 - :mod:`repro.compress` -- post-noise update compression (sparsify,
   quantize, error feedback) + wire-byte accounting.
 - :mod:`repro.protocol` -- Protocol 1, the private weighting protocol.
+- :mod:`repro.api` -- the declarative surface: :class:`RunSpec` config
+  trees, :func:`run`, grid sweeps, and the extension registries.
 
-Quickstart::
+Quickstart (the declarative API; see ``docs/api.md``)::
+
+    import repro
+
+    spec = repro.RunSpec.from_dict({
+        "rounds": 5,
+        "dataset": {"name": "creditcard", "users": 100, "silos": 5},
+        "method": {"name": "uldp-avg-w", "sigma": 5.0},
+    })
+    result = repro.run(spec)
+    print(result.table())
+
+or, the imperative building blocks it resolves to::
 
     from repro import build_creditcard_benchmark, Trainer, UldpAvg
 
@@ -29,6 +43,15 @@ __version__ = "1.0.0"
 
 # name -> defining submodule, resolved on first attribute access.
 _LAZY_EXPORTS = {
+    "RunSpec": "repro.api",
+    "RunResult": "repro.api",
+    "run": "repro.api",
+    "run_sweep": "repro.api",
+    "register_dataset": "repro.api",
+    "register_method": "repro.api",
+    "register_model": "repro.api",
+    "register_scenario": "repro.api",
+    "register_sparsifier": "repro.api",
     "PrivacyAccountant": "repro.accounting",
     "CompressionSpec": "repro.compress",
     "UpdateCompressor": "repro.compress",

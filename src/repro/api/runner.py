@@ -1,0 +1,220 @@
+"""The single entrypoint: ``repro.run(spec) -> RunResult``.
+
+Resolves a validated :class:`repro.api.spec.RunSpec` against the
+registries and executes it:
+
+- **train mode** (no ``[sim]`` section): build the dataset, method, and
+  (optionally) model through the registries, run a
+  :class:`repro.core.Trainer`, and return its history.
+- **simulate mode** (``[sim]`` present): build the named scenario with the
+  spec's method and privacy parameters, run it (checkpointing when
+  ``sim.checkpoint_dir`` is set), and return the simulator's history.
+
+Either way the history is stamped with the spec snapshot and its
+canonical :func:`repro.api.spec.spec_hash`, and simulation checkpoints
+carry the same pair so ``--resume`` can refuse a tampered or mismatched
+spec (:func:`verify_checkpoint_spec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import builtin  # noqa: F401  (populates the registries)
+from repro.api.registries import DATASETS, METHODS, MODELS
+from repro.api.spec import RunSpec, SpecError
+
+#: Seed-stream tag separating registry-built model inits from the
+#: trainer's stream ("auto" models keep consuming the trainer RNG).
+_MODEL_STREAM = 0x30DE1
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`run` call."""
+
+    spec: RunSpec
+    spec_hash: str
+    history: object  # repro.core.trainer.TrainingHistory
+    dataset: object | None = None  # repro.data.FederatedDataset
+    simulator: object | None = None  # repro.sim.FederationSimulator (sim mode)
+
+    def table(self) -> str:
+        """One-row comparison table of the run's history."""
+        from repro.report import comparison_table
+
+        return comparison_table([self.history])
+
+    def summary(self) -> str:
+        """One-line summary (method, final metric, epsilon, spec hash)."""
+        return f"{self.history.summary()} spec={self.spec_hash}"
+
+
+def validate_spec_names(spec: RunSpec) -> None:
+    """Resolve every registry name the spec references (without running).
+
+    Raises :class:`repro.api.registries.UnknownNameError` -- listing valid
+    names plus a nearest-match suggestion -- for an unknown method,
+    dataset, model, or scenario.  ``repro validate-config`` calls this on
+    every spec file (and every expanded sweep point).
+    """
+    METHODS.entry(spec.method.name)
+    if spec.model.name != "auto":
+        MODELS.entry(spec.model.name)
+    if spec.is_simulation:
+        import repro.sim.scenarios  # noqa: F401  (registers the builtins)
+        from repro.api.registries import SCENARIOS
+
+        SCENARIOS.entry(spec.sim.scenario)
+    else:
+        DATASETS.entry(spec.dataset.name)
+
+
+def build_dataset(spec: RunSpec):
+    """The spec's federation (train mode), via the dataset registry."""
+    if spec.dataset is None:
+        raise SpecError("spec has no dataset section (simulation mode)")
+    seed = spec.dataset.seed if spec.dataset.seed is not None else spec.seed
+    return DATASETS.get(spec.dataset.name)(spec.dataset, seed)
+
+
+def build_method(spec: RunSpec):
+    """The spec's FL method, via the method registry."""
+    return METHODS.get(spec.method.name)(spec.method, spec.crypto)
+
+
+def build_trainer(spec: RunSpec, fed=None):
+    """A ready-to-run :class:`repro.core.Trainer` for a train-mode spec.
+
+    The construction order and seeds mirror the legacy CLI exactly
+    (dataset from ``dataset.seed``/``seed``, trainer RNG from ``seed``),
+    which is what makes shim-generated specs bit-identical oracles.
+    """
+    from repro.core import Trainer
+
+    if spec.is_simulation:
+        raise SpecError("spec has a [sim] section; use build_simulator()")
+    if fed is None:
+        fed = build_dataset(spec)
+    method = build_method(spec)
+    model = None
+    if spec.model.name != "auto":
+        build = MODELS.get(spec.model.name)
+        model = build(np.random.default_rng([_MODEL_STREAM, spec.seed]), fed)
+    rounds = spec.rounds if spec.rounds is not None else 5
+    return Trainer(
+        fed,
+        method,
+        rounds=rounds,
+        model=model,
+        delta=spec.privacy.delta,
+        seed=spec.seed,
+        eval_every=spec.eval_every,
+        compression=spec.compression,
+    )
+
+
+def build_simulator(spec: RunSpec):
+    """A ready-to-run simulator for a simulate-mode spec (not yet run)."""
+    from repro.sim.scenarios import build_scenario
+
+    if not spec.is_simulation:
+        raise SpecError("spec has no [sim] section; use build_trainer()")
+    return build_scenario(
+        spec.sim.scenario,
+        scale=spec.sim.scale,
+        seed=spec.seed,
+        rounds=spec.rounds,
+        method=build_method(spec),
+        delta=spec.privacy.delta,
+        eval_every=spec.eval_every,
+    )
+
+
+def _stamp(history, spec: RunSpec) -> str:
+    """Attach the spec snapshot + canonical hash to a history; returns hash."""
+    digest = spec.hash()
+    history.spec = spec.to_dict()
+    history.spec_hash = digest
+    return digest
+
+
+def checkpoint_extra(spec: RunSpec) -> dict:
+    """The checkpoint ``extra`` payload for a simulate-mode spec."""
+    return {
+        "scenario": spec.sim.scenario,
+        "scale": spec.sim.scale,
+        "seed": spec.seed,
+        "rounds": spec.rounds,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.hash(),
+    }
+
+
+def verify_checkpoint_spec(extra: dict) -> RunSpec | None:
+    """Validate a checkpoint's stored spec snapshot against its hash.
+
+    Returns the rebuilt :class:`RunSpec` (or None for pre-spec
+    checkpoints).  Raises :class:`SpecError` when the snapshot no longer
+    hashes to the recorded value -- i.e. the checkpoint was tampered with
+    or written by an incompatible schema.
+    """
+    if not extra or "spec" not in extra:
+        return None
+    spec = RunSpec.from_dict(extra["spec"])
+    recorded = extra.get("spec_hash")
+    actual = spec.hash()
+    if recorded != actual:
+        raise SpecError(
+            f"checkpoint spec hash mismatch: recorded {recorded!r} but the "
+            f"stored snapshot hashes to {actual!r}; refusing to resume a "
+            "run whose configuration was modified"
+        )
+    return spec
+
+
+def run(spec: RunSpec, *, dataset=None) -> RunResult:
+    """Execute one spec end to end; the single programmatic entrypoint.
+
+    ``dataset`` optionally supplies an already-built federation for a
+    train-mode spec whose ``dataset`` section (and resolved seed) it
+    matches -- the sweep runner uses this to build each distinct
+    federation once per grid instead of once per point.  The caller is
+    responsible for the match; when in doubt, omit it.
+    """
+    if spec.sweep:
+        raise SpecError(
+            "spec declares sweep axes; use repro.api.run_sweep() "
+            "(or the `repro sweep` command) to expand the grid"
+        )
+    if spec.is_simulation:
+        return _run_simulation(spec)
+    return _run_training(spec, fed=dataset)
+
+
+def _run_training(spec: RunSpec, fed=None) -> RunResult:
+    trainer = build_trainer(spec, fed=fed)
+    digest = _stamp(trainer.history, spec)
+    history = trainer.run()
+    return RunResult(
+        spec=spec, spec_hash=digest, history=history, dataset=trainer.fed
+    )
+
+
+def _run_simulation(spec: RunSpec) -> RunResult:
+    from repro.sim.scenarios import run_simulator_with_checkpoints
+
+    sim = build_simulator(spec)
+    digest = _stamp(sim.history, spec)
+    run_simulator_with_checkpoints(
+        sim,
+        spec.sim.checkpoint_dir,
+        spec.sim.checkpoint_every,
+        extra=checkpoint_extra(spec),
+    )
+    return RunResult(
+        spec=spec, spec_hash=digest, history=sim.history,
+        dataset=sim.fed, simulator=sim,
+    )

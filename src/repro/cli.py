@@ -1,29 +1,42 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Subcommands:
+The declarative surface (one validated config tree, see ``docs/api.md``):
 
-- ``train``     -- run one method on one benchmark and print the history
-                   (optionally save it as JSON).
-- ``simulate``  -- run a named federation scenario (dropout, stragglers,
-                   churn, async aggregation) with checkpoint/resume.
-- ``epsilon``   -- query the accountant: eps for (sigma, steps, q, delta),
-                   optionally through a group-privacy conversion.
+- ``run``       -- execute one :class:`repro.api.RunSpec` from a TOML/JSON
+                   config file, with dotted-path ``--set`` overrides.
+- ``sweep``     -- expand a spec's ``[sweep]`` grid axes into child runs
+                   (optionally across a process pool) and print one
+                   aggregated comparison table.
+- ``validate-config`` -- parse + validate spec files (registry names,
+                   enum/range checks, sweep expansion) without running.
+
+Legacy flag surfaces, kept as thin shims that construct the equivalent
+``RunSpec`` (their histories are bit-identical to the spec path -- oracle
+tested):
+
+- ``train``     -- run one method on one benchmark and print the history.
+- ``simulate``  -- run a named federation scenario with checkpoint/resume.
+
+Plus the analytic utilities:
+
+- ``epsilon``   -- query the accountant: eps for (sigma, steps, q, delta).
 - ``calibrate`` -- invert the accountant: the sigma (or q) achieving a
                    target epsilon.
-- ``datasets``  -- list the available benchmark federations.
+- ``datasets``  -- list the registered benchmark federations.
+- ``figure``    -- regenerate a registered paper experiment.
 
 Examples::
 
+    python -m repro run --config examples/specs/quickstart.toml
+    python -m repro run --config exp.toml --set method.sigma=1.0 \\
+        --set sim.scenario=bandwidth-cap
+    python -m repro sweep --config examples/specs/sigma_sweep.toml
+    python -m repro validate-config examples/specs/*.toml
     python -m repro train --dataset creditcard --method uldp-avg-w \\
         --rounds 10 --users 100 --distribution zipf
-    python -m repro train --method uldp-avg-w --compress topk \\
-        --compress-fraction 0.05 --quantize-bits 8 --error-feedback
     python -m repro simulate --scenario silo-outage --rounds 20 \\
         --checkpoint-dir ckpt/
-    python -m repro simulate --resume ckpt/
-    python -m repro epsilon --sigma 5.0 --steps 100000 --sample-rate 0.01 \\
-        --group-size 8
-    python -m repro calibrate --target-epsilon 2.0 --steps 100
+    python -m repro epsilon --sigma 5.0 --steps 100000 --sample-rate 0.01
 """
 
 from __future__ import annotations
@@ -31,81 +44,61 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.accounting import (
-    PrivacyAccountant,
-    calibrate_noise_multiplier,
-    calibrate_sample_rate,
+from repro.api import builtin as _builtin  # noqa: F401  (registry population)
+from repro.api.registries import DATASETS, METHODS, UnknownNameError
+from repro.api.spec import (
+    RunSpec,
+    SpecError,
+    apply_overrides,
+    load_spec_tree,
+    parse_assignment,
 )
-from repro.compress import SPARSIFIERS, CompressionSpec
-from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
-from repro.data import (
-    build_creditcard_benchmark,
-    build_heartdisease_benchmark,
-    build_mnist_benchmark,
-    build_tcgabrca_benchmark,
-)
-from repro.report import comparison_table, save_histories
-
-DATASETS = {
-    "creditcard": "tabular fraud detection, 5 silos, MLP (~4K params)",
-    "mnist": "10-class images, 5 silos, CNN (~20K params)",
-    "heartdisease": "4 fixed hospital silos, logistic model",
-    "tcgabrca": "6 fixed silos, survival data, Cox model / C-index",
-}
-
-METHODS = ["default", "uldp-naive", "uldp-group", "uldp-sgd", "uldp-avg", "uldp-avg-w"]
 
 
-def _build_dataset(args) -> object:
-    if args.dataset == "creditcard":
-        return build_creditcard_benchmark(
-            n_users=args.users, n_silos=args.silos, distribution=args.distribution,
-            n_records=args.records, seed=args.seed,
-        )
-    if args.dataset == "mnist":
-        return build_mnist_benchmark(
-            n_users=args.users, n_silos=args.silos, distribution=args.distribution,
-            non_iid=args.non_iid, n_records=args.records, seed=args.seed,
-        )
-    if args.dataset == "heartdisease":
-        return build_heartdisease_benchmark(
-            n_users=args.users, distribution=args.distribution, seed=args.seed,
-        )
-    if args.dataset == "tcgabrca":
-        return build_tcgabrca_benchmark(
-            n_users=args.users, distribution=args.distribution, seed=args.seed,
-        )
-    raise ValueError(f"unknown dataset {args.dataset!r}")
+def _fail(exc: BaseException) -> int:
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
-def _build_method(args):
-    sigma = args.sigma
-    if args.method == "default":
-        return Default(local_epochs=args.local_epochs)
-    if args.method == "uldp-naive":
-        return UldpNaive(noise_multiplier=sigma, local_epochs=args.local_epochs)
-    if args.method == "uldp-group":
-        return UldpGroup(
-            group_size=args.group_size, noise_multiplier=sigma,
-            local_steps=args.local_epochs, expected_batch_size=args.batch_size or 256,
-        )
-    if args.method == "uldp-sgd":
-        return UldpSgd(noise_multiplier=sigma, user_sample_rate=args.sample_rate)
-    if args.method == "uldp-avg":
-        return UldpAvg(
-            noise_multiplier=sigma, local_epochs=args.local_epochs,
-            user_sample_rate=args.sample_rate,
-        )
-    if args.method == "uldp-avg-w":
-        return UldpAvg(
-            noise_multiplier=sigma, local_epochs=args.local_epochs,
-            weighting="proportional", user_sample_rate=args.sample_rate,
-        )
-    raise ValueError(f"unknown method {args.method!r}")
+# -- spec construction from legacy flags (the shims) --------------------------
 
 
-def _build_compression(args) -> CompressionSpec | None:
-    """The CompressionSpec the train flags describe (None = dense)."""
+def _train_method_tree(args) -> dict:
+    """The [method] table the legacy ``train`` flags describe.
+
+    Mirrors the historical flag->constructor mapping exactly: only the
+    fields the chosen method consumed are set, so the resulting spec
+    reproduces the legacy run bit for bit.
+    """
+    name = args.method
+    if name == "default":
+        return {"name": name, "local_epochs": args.local_epochs}
+    if name == "uldp-naive":
+        return {"name": name, "sigma": args.sigma, "local_epochs": args.local_epochs}
+    if name == "uldp-group":
+        tree = {
+            "name": name,
+            "sigma": args.sigma,
+            "local_epochs": args.local_epochs,
+            "group_size": args.group_size,
+        }
+        if args.batch_size is not None:
+            tree["batch_size"] = args.batch_size
+        return tree
+    if name in ("uldp-sgd", "uldp-sgd-w"):
+        tree = {"name": name, "sigma": args.sigma}
+        if args.sample_rate is not None:
+            tree["sample_rate"] = args.sample_rate
+        return tree
+    # uldp-avg / uldp-avg-w / secure-uldp-avg / third-party registrations.
+    tree = {"name": name, "sigma": args.sigma, "local_epochs": args.local_epochs}
+    if args.sample_rate is not None:
+        tree["sample_rate"] = args.sample_rate
+    return tree
+
+
+def _train_compression_tree(args) -> dict | None:
+    """The [compression] table the train flags describe (None = dense)."""
     lossy = args.compress != "none" or args.quantize_bits is not None
     if not lossy:
         if args.error_feedback or args.compress_downlink:
@@ -114,48 +107,233 @@ def _build_compression(args) -> CompressionSpec | None:
                 "pipeline; add --compress topk|randk or --quantize-bits"
             )
         return None
-    return CompressionSpec(
-        sparsify=args.compress,
-        fraction=args.compress_fraction,
-        quantize_bits=args.quantize_bits,
-        error_feedback=args.error_feedback,
-        downlink=args.compress_downlink,
-        seed=args.seed,
-    )
+    tree = {
+        "sparsify": args.compress,
+        "fraction": args.compress_fraction,
+        "error_feedback": args.error_feedback,
+        "downlink": args.compress_downlink,
+        "seed": args.seed,
+    }
+    if args.quantize_bits is not None:
+        tree["quantize_bits"] = args.quantize_bits
+    return tree
 
 
-def cmd_train(args) -> int:
-    fed = _build_dataset(args)
-    method = _build_method(args)
-    print(fed.summary())
-    try:
-        trainer = Trainer(
-            fed, method, rounds=args.rounds, delta=args.delta, seed=args.seed,
-            compression=_build_compression(args),
-        )
-    except (NotImplementedError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    history = trainer.run()
+def train_spec_tree(args) -> dict:
+    """The full RunSpec tree equivalent to a legacy ``train`` invocation."""
+    tree = {
+        "name": f"train-{args.dataset}-{args.method}",
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "dataset": {
+            "name": args.dataset,
+            "users": args.users,
+            "silos": args.silos,
+            "records": args.records,
+            "distribution": args.distribution,
+            "non_iid": args.non_iid,
+        },
+        "method": _train_method_tree(args),
+        "privacy": {"delta": args.delta},
+    }
+    compression = _train_compression_tree(args)
+    if compression is not None:
+        tree["compression"] = compression
+    return tree
+
+
+def simulate_spec_tree(args) -> dict:
+    """The RunSpec tree equivalent to a legacy ``simulate`` invocation."""
+    tree = {
+        "name": f"simulate-{args.scenario}",
+        "seed": args.seed,
+        "sim": {
+            "scenario": args.scenario,
+            "scale": args.scale,
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every": args.checkpoint_every,
+        },
+    }
+    if args.rounds is not None:
+        tree["rounds"] = args.rounds
+    return tree
+
+
+# -- shared result printing ---------------------------------------------------
+
+
+def _print_train_result(result, output: str | None) -> None:
+    from repro.report import comparison_table, format_bytes, save_histories
+
+    history = result.history
     print()
     print(comparison_table([history]))
     # Every run records wire bytes (dense defaults without compression),
     # so the totals are always available.
     up_mean, down_mean = history.comm_summary()
-    from repro.report import format_bytes
-
     print(
         f"\nwire traffic: {format_bytes(history.total_uplink_bytes)} up / "
         f"{format_bytes(history.total_downlink_bytes)} down total "
         f"({format_bytes(up_mean)}/rd up, {format_bytes(down_mean)}/rd down)"
     )
-    if args.output:
-        save_histories([history], args.output)
-        print(f"\nhistory saved to {args.output}")
+    if output:
+        save_histories([history], output)
+        print(f"\nhistory saved to {output}")
+
+
+def _print_sim_result(sim) -> None:
+    from repro.report import comparison_table
+
+    print(comparison_table([sim.history]))
+    releases = sim.method.accountant.releases
+    if releases:
+        worst = max(releases, key=lambda r: r.sensitivity)
+        print(
+            f"\n{len(releases)} releases; worst-case realised sensitivity "
+            f"{worst.sensitivity:.3f} C (noise scale {worst.noise_scale:.3f})"
+        )
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_train(args) -> int:
+    from repro.api.runner import run
+
+    try:
+        spec = RunSpec.from_dict(train_spec_tree(args))
+        result = run(spec)
+    except (NotImplementedError, ValueError, UnknownNameError) as exc:
+        return _fail(exc)
+    print(result.dataset.summary())
+    _print_train_result(result, args.output)
     return 0
 
 
+def cmd_simulate(args) -> int:
+    from repro.report import save_histories
+    from repro.sim import continue_simulation
+
+    if args.list:
+        from repro.sim import available_scenarios, describe_scenario
+
+        for name in available_scenarios():
+            print(f"{name:<22s} {describe_scenario(name)}")
+        return 0
+    if args.resume:
+        if args.scenario or args.rounds is not None or args.seed != 0:
+            print(
+                "note: --resume rebuilds from the checkpoint's stored "
+                "spec/scenario; other flags are ignored",
+                file=sys.stderr,
+            )
+        try:
+            sim = continue_simulation(
+                args.resume, checkpoint_every=args.checkpoint_every
+            )
+        except (ValueError, UnknownNameError) as exc:
+            return _fail(exc)
+        print(f"resumed from {args.resume}")
+    elif args.scenario:
+        from repro.api.runner import run
+
+        try:
+            spec = RunSpec.from_dict(simulate_spec_tree(args))
+            sim = run(spec).simulator
+        except (ValueError, UnknownNameError) as exc:
+            return _fail(exc)
+    else:
+        print("specify --scenario, --resume, or --list", file=sys.stderr)
+        return 2
+    _print_sim_result(sim)
+    if args.checkpoint_dir and not args.resume:
+        print(f"checkpoints in {args.checkpoint_dir}")
+    if args.output:
+        save_histories([sim.history], args.output)
+        print(f"history saved to {args.output}")
+    return 0
+
+
+def _spec_from_config_args(args) -> RunSpec:
+    """Shared --config/--set resolution for ``run`` and ``sweep``."""
+    tree = load_spec_tree(args.config) if args.config else {}
+    if args.set:
+        assignments = dict(parse_assignment(item) for item in args.set)
+        tree = apply_overrides(tree, assignments)
+    return RunSpec.from_dict(tree)
+
+
+def cmd_run(args) -> int:
+    from repro.api.runner import run, validate_spec_names
+
+    try:
+        spec = _spec_from_config_args(args)
+        validate_spec_names(spec)
+        result = run(spec)
+    except (NotImplementedError, ValueError, UnknownNameError) as exc:
+        return _fail(exc)
+    print(f"{spec.name} (spec {result.spec_hash})")
+    if result.simulator is not None:
+        _print_sim_result(result.simulator)
+        if args.output:
+            from repro.report import save_histories
+
+            save_histories([result.history], args.output)
+            print(f"history saved to {args.output}")
+    else:
+        print(result.dataset.summary())
+        _print_train_result(result, args.output)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.api.sweep import run_sweep
+
+    try:
+        spec = _spec_from_config_args(args)
+        if not spec.sweep:
+            raise SpecError(
+                "the spec declares no [sweep] axes; add e.g. "
+                '[sweep] "method.sigma" = [0.5, 1.0] (or use `repro run`)'
+            )
+        # run_sweep validates every grid point's registry names up front.
+        sweep = run_sweep(spec, workers=args.workers)
+    except (NotImplementedError, ValueError, UnknownNameError) as exc:
+        return _fail(exc)
+    print(f"{spec.name}: {len(sweep.results)} runs (base spec {spec.hash()})\n")
+    print(sweep.table())
+    if args.output:
+        from repro.report import save_histories
+
+        save_histories(sweep.histories, args.output)
+        print(f"\n{len(sweep.histories)} histories saved to {args.output}")
+    return 0
+
+
+def cmd_validate_config(args) -> int:
+    from repro.api.runner import validate_spec_names
+    from repro.api.spec import expand_sweep
+
+    failures = 0
+    for path in args.files:
+        try:
+            spec = RunSpec.from_file(path)
+            points = expand_sweep(spec)
+            for point in points:
+                validate_spec_names(point.spec)
+        except (OSError, ValueError, UnknownNameError) as exc:
+            print(f"{path}: FAIL: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        mode = "simulate" if spec.is_simulation else "train"
+        grid = f", {len(points)}-point sweep" if spec.sweep else ""
+        print(f"{path}: OK ({mode}{grid}, spec {spec.hash()})")
+    return 1 if failures else 0
+
+
 def cmd_epsilon(args) -> int:
+    from repro.accounting import PrivacyAccountant
+
     acct = PrivacyAccountant()
     acct.step(args.sigma, sample_rate=args.sample_rate, steps=args.steps)
     eps, alpha = acct.get_epsilon_and_alpha(args.delta)
@@ -173,6 +351,8 @@ def cmd_epsilon(args) -> int:
 
 
 def cmd_calibrate(args) -> int:
+    from repro.accounting import calibrate_noise_multiplier, calibrate_sample_rate
+
     if args.solve_for == "sigma":
         sigma = calibrate_noise_multiplier(
             args.target_epsilon, args.delta, args.steps, sample_rate=args.sample_rate
@@ -192,58 +372,15 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
-    from repro.sim import (
-        available_scenarios,
-        continue_simulation,
-        describe_scenario,
-        run_scenario,
-    )
-
-    if args.list:
-        for name in available_scenarios():
-            print(f"{name:<22s} {describe_scenario(name)}")
-        return 0
-    if args.resume:
-        if args.scenario or args.rounds is not None or args.seed != 0:
-            print(
-                "note: --resume rebuilds from the checkpoint's stored "
-                "scenario/scale/seed/rounds; other flags are ignored",
-                file=sys.stderr,
-            )
-        sim = continue_simulation(args.resume, checkpoint_every=args.checkpoint_every)
-        print(f"resumed from {args.resume}")
-    elif args.scenario:
-        sim = run_scenario(
-            args.scenario,
-            scale=args.scale,
-            seed=args.seed,
-            rounds=args.rounds,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-        )
-    else:
-        print("specify --scenario, --resume, or --list", file=sys.stderr)
-        return 2
-    print(comparison_table([sim.history]))
-    releases = sim.method.accountant.releases
-    if releases:
-        worst = max(releases, key=lambda r: r.sensitivity)
-        print(
-            f"\n{len(releases)} releases; worst-case realised sensitivity "
-            f"{worst.sensitivity:.3f} C (noise scale {worst.noise_scale:.3f})"
-        )
-    if args.checkpoint_dir and not args.resume:
-        print(f"checkpoints in {args.checkpoint_dir}")
-    if args.output:
-        save_histories([sim.history], args.output)
-        print(f"history saved to {args.output}")
+def cmd_datasets(args) -> int:
+    for name in DATASETS.names():
+        print(f"{name:<14s} {DATASETS.describe(name)}")
     return 0
 
 
-def cmd_datasets(args) -> int:
-    for name, description in DATASETS.items():
-        print(f"{name:<14s} {description}")
+def cmd_methods(args) -> int:
+    for name in METHODS.names():
+        print(f"{name:<16s} {METHODS.describe(name)}")
     return 0
 
 
@@ -253,6 +390,7 @@ def cmd_figure(args) -> int:
         describe_experiment,
         run_experiment,
     )
+    from repro.report import save_histories
 
     if args.list:
         for name in available_experiments():
@@ -261,7 +399,10 @@ def cmd_figure(args) -> int:
     if not args.name:
         print("specify an experiment name or --list", file=sys.stderr)
         return 2
-    result = run_experiment(args.name, scale=args.scale, seed=args.seed)
+    try:
+        result = run_experiment(args.name, scale=args.scale, seed=args.seed)
+    except (ValueError, UnknownNameError) as exc:
+        return _fail(exc)
     print(f"{result.name}: {result.description}\n")
     print(result.table())
     if args.output and result.histories:
@@ -276,9 +417,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="run one method on one benchmark")
-    train.add_argument("--dataset", choices=sorted(DATASETS), default="creditcard")
-    train.add_argument("--method", choices=METHODS, default="uldp-avg-w")
+    run_p = sub.add_parser(
+        "run", help="execute one RunSpec config (TOML/JSON)"
+    )
+    run_p.add_argument("--config", type=str, default=None,
+                       help="spec file; defaults apply when omitted")
+    run_p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       help="dotted-path override, e.g. method.sigma=1.0")
+    run_p.add_argument("--output", type=str, default=None,
+                       help="write the history JSON here")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="expand a spec's [sweep] grid and aggregate one table"
+    )
+    sweep_p.add_argument("--config", type=str, default=None)
+    sweep_p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                         help="dotted-path override; sweep.<path>=[..] sets an axis")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="run grid points across a process pool")
+    sweep_p.add_argument("--output", type=str, default=None,
+                         help="write all child histories JSON here")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    val = sub.add_parser(
+        "validate-config", help="validate spec files without running them"
+    )
+    val.add_argument("files", nargs="+", help="spec files (.toml/.json)")
+    val.set_defaults(func=cmd_validate_config)
+
+    train = sub.add_parser(
+        "train",
+        help="run one method on one benchmark (legacy flag shim over `run`)",
+    )
+    train.add_argument("--dataset", type=str, default="creditcard",
+                       help="registered dataset name (see `repro datasets`)")
+    train.add_argument("--method", type=str, default="uldp-avg-w",
+                       help="registered method name (see `repro methods`)")
     train.add_argument("--rounds", type=int, default=5)
     train.add_argument("--users", type=int, default=100)
     train.add_argument("--silos", type=int, default=5)
@@ -293,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sample-rate", type=float, default=None,
                        help="user-level sub-sampling rate q (Algorithm 4)")
     train.add_argument("--seed", type=int, default=0)
-    train.add_argument("--compress", choices=list(SPARSIFIERS), default="none",
+    train.add_argument("--compress", type=str, default="none",
                        help="uplink sparsifier (post-noise; epsilon unchanged)")
     train.add_argument("--compress-fraction", type=float, default=0.05,
                        help="kept coordinate fraction for topk/randk")
@@ -327,11 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fixed q when solving for sigma")
     cal.set_defaults(func=cmd_calibrate)
 
-    ds = sub.add_parser("datasets", help="list benchmark federations")
+    ds = sub.add_parser("datasets", help="list registered benchmark federations")
     ds.set_defaults(func=cmd_datasets)
 
+    methods = sub.add_parser("methods", help="list registered FL methods")
+    methods.set_defaults(func=cmd_methods)
+
     simulate = sub.add_parser(
-        "simulate", help="run a federation scenario (dropout/stragglers/async)"
+        "simulate",
+        help="run a federation scenario (legacy flag shim over `run`)",
     )
     simulate.add_argument("--scenario", type=str, default=None,
                           help="scenario name (see --list)")
@@ -346,7 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--checkpoint-every", type=int, default=None,
                           help="rounds between snapshots (default: rounds/4)")
     simulate.add_argument("--resume", type=str, default=None, metavar="CKPT",
-                          help="resume from a checkpoint directory")
+                          help="resume from a checkpoint directory "
+                          "(refuses a tampered spec)")
     simulate.add_argument("--output", type=str, default=None,
                           help="write the history JSON here")
     simulate.set_defaults(func=cmd_simulate)

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compress.quantize import dequantize, quantize_stochastic
-from repro.compress.sparsify import randk_indices, scatter, topk_indices
+from repro.compress.sparsify import randk_indices, scatter
 from repro.compress.spec import CompressionSpec
 
 #: Seed-sequence tag separating the compressor's RNG stream from training
@@ -94,11 +94,11 @@ class UpdateCompressor:
             indices = None
             survivors = vec
         else:
+            from repro.api.registries import SPARSIFIERS
+
             k = spec.keep_count(dim)
-            if spec.sparsify == "topk":
-                indices = topk_indices(vec, k)
-            else:
-                indices = randk_indices(dim, k, self.rng)
+            select = SPARSIFIERS.get(spec.sparsify)
+            indices = np.asarray(select(vec, k, self.rng), dtype=np.int64)
             survivors = vec[indices]
         if spec.quantize_bits is not None:
             block = quantize_stochastic(survivors, spec.quantize_bits, self.rng)

@@ -3,11 +3,21 @@
 Both selectors return *sorted* index arrays so the wire format (and the
 scatter that undoes it) is canonical regardless of magnitude order, and so
 the secure path's shared support is identical on every silo.
+
+The builtin families register under :data:`repro.api.registries.SPARSIFIERS`
+(the ``@register_sparsifier`` seam); :class:`repro.compress.pipeline.
+UpdateCompressor` dispatches support selection through that registry, so a
+third-party sparsifier -- any ``(vec, k, rng) -> sorted indices`` callable
+-- plugs into ``CompressionSpec(sparsify="<name>")`` without touching this
+package.  Registrations marked ``data_independent=True`` select their
+support without looking at the payload (a requirement for pre-noise use).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.api.registries import register_sparsifier
 
 
 def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
@@ -36,6 +46,24 @@ def randk_indices(dim: int, k: int, rng: np.random.Generator) -> np.ndarray:
     if not 1 <= k <= dim:
         raise ValueError("k must lie in [1, dim]")
     return np.sort(rng.choice(dim, size=k, replace=False)).astype(np.int64)
+
+
+@register_sparsifier(
+    "topk",
+    description="k largest-magnitude coordinates (post-noise only)",
+    data_independent=False,
+)
+def _select_topk(vec: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    return topk_indices(vec, k)
+
+
+@register_sparsifier(
+    "randk",
+    description="uniform random k-subset from the compressor's private RNG",
+    data_independent=True,
+)
+def _select_randk(vec: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    return randk_indices(len(vec), k, rng)
 
 
 def scatter(indices: np.ndarray, values: np.ndarray, dim: int) -> np.ndarray:

@@ -17,8 +17,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-#: Sparsification families: dense, k largest-magnitude, shared random k.
+#: The builtin sparsification families: dense, k largest-magnitude,
+#: shared random k.  Validation consults the live
+#: :data:`repro.api.registries.SPARSIFIERS` registry, so third-party
+#: families registered via ``@register_sparsifier`` are accepted too.
 SPARSIFIERS = ("none", "topk", "randk")
+
+
+def _valid_sparsifiers() -> tuple[str, ...]:
+    """``"none"`` plus every registered sparsifier family."""
+    from repro.api.registries import SPARSIFIERS as registry
+
+    names = registry.names()
+    return ("none", *names) if names else SPARSIFIERS
 
 #: Quantization widths must leave at least one magnitude bit beside the
 #: sign and stay within the int16 wire format.
@@ -61,8 +72,14 @@ class CompressionSpec:
     index_bytes: int = 4
 
     def __post_init__(self):
-        if self.sparsify not in SPARSIFIERS:
-            raise ValueError(f"sparsify must be one of {SPARSIFIERS}")
+        valid = _valid_sparsifiers()
+        if self.sparsify not in valid:
+            from repro.api.registries import suggest
+
+            raise ValueError(
+                f"sparsify must be one of {valid}"
+                f"{suggest(self.sparsify, list(valid))}"
+            )
         if not 0 < self.fraction <= 1:
             raise ValueError("kept fraction must lie in (0, 1]")
         if self.quantize_bits is not None and not (

@@ -99,9 +99,14 @@ class FLMethod(ABC):
         #: (None until the first round; the trainer records it per round).
         self.last_participation: ParticipationSummary | None = None
         #: The update-compression recipe (None = dense, no byte ledger
-        #: beyond the trainer's dense default).  The trainer's
-        #: ``compression=`` argument overrides this before ``prepare``.
+        #: beyond the trainer's dense default).  A trainer-level spec is
+        #: passed to :meth:`prepare` instead of overwriting this field.
         self.compression = compression
+        #: The spec actually in force after :meth:`prepare` (the trainer's
+        #: override when given, else :attr:`compression`).  Kept separate
+        #: so a method instance reused across trainers never inherits an
+        #: earlier trainer's compression.
+        self.active_compression: CompressionSpec | None = compression
         #: Stateful compressor, built by :meth:`prepare` from the spec.
         self.compressor: UpdateCompressor | None = None
         #: Set by :meth:`round`: wire bytes of the last round (None for
@@ -109,21 +114,34 @@ class FLMethod(ABC):
         self.last_comm: CommSummary | None = None
 
     def prepare(
-        self, fed: FederatedDataset, model: Sequential, rng: np.random.Generator
+        self,
+        fed: FederatedDataset,
+        model: Sequential,
+        rng: np.random.Generator,
+        compression: CompressionSpec | None = None,
     ) -> None:
-        """Bind the method to a dataset and a model template."""
+        """Bind the method to a dataset and a model template.
+
+        ``compression`` is the trainer-level override for this binding; it
+        takes precedence over the method's own :attr:`compression` without
+        mutating it (the effective spec lands in
+        :attr:`active_compression`).
+        """
         self.fed = fed
         self.model = model
         self.rng = rng
-        if self.compression is not None:
-            if not self.compression.is_identity and not self.supports_compression:
+        spec = compression if compression is not None else self.compression
+        self.active_compression = spec
+        self.compressor = None
+        if spec is not None:
+            if not spec.is_identity and not self.supports_compression:
                 raise NotImplementedError(
                     f"{type(self).__name__} does not implement lossy update "
                     "compression; use CompressionSpec.none() for byte "
                     "accounting only, or a UldpAvg-family method"
                 )
             self.compressor = UpdateCompressor(
-                self.compression, fed.n_silos, model.num_params
+                spec, fed.n_silos, model.num_params
             )
 
     @abstractmethod

@@ -129,8 +129,8 @@ class UldpAvg(FLMethod):
     def display_name(self) -> str:
         return "ULDP-AVG-w" if self.weighting == "proportional" else "ULDP-AVG"
 
-    def prepare(self, fed, model, rng) -> None:
-        super().prepare(fed, model, rng)
+    def prepare(self, fed, model, rng, compression=None) -> None:
+        super().prepare(fed, model, rng, compression=compression)
         if self.weighting == "uniform":
             self.weights = uniform_weights(fed.n_silos, fed.n_users)
         else:

@@ -63,8 +63,8 @@ class UldpSgd(FLMethod):
     def display_name(self) -> str:
         return "ULDP-SGD-w" if self.weighting == "proportional" else "ULDP-SGD"
 
-    def prepare(self, fed, model, rng) -> None:
-        super().prepare(fed, model, rng)
+    def prepare(self, fed, model, rng, compression=None) -> None:
+        super().prepare(fed, model, rng, compression=compression)
         if self.weighting == "uniform":
             self.weights = uniform_weights(fed.n_silos, fed.n_users)
         else:

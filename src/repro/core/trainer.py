@@ -92,6 +92,12 @@ class TrainingHistory:
 
     method: str
     dataset: str
+    #: The resolved :class:`repro.api.RunSpec` snapshot that produced this
+    #: history (stamped by ``repro.api.run``; None for ad-hoc Trainer use)
+    #: and its canonical content hash -- what makes archived histories
+    #: self-describing and resume spec-checked.
+    spec: dict | None = None
+    spec_hash: str | None = None
     records: list[RoundRecord] = field(default_factory=list)
     #: Wall-clock seconds spent in each ``method.round`` call (all rounds,
     #: evaluated or not) -- the engine benchmarks read this.
@@ -190,11 +196,11 @@ class Trainer:
         self.eval_every = eval_every
         self.rng = np.random.default_rng(seed)
         self.model = model if model is not None else default_model_for(fed, self.rng)
-        if compression is not None:
-            # The trainer-level spec overrides a method-level one; the
-            # method's prepare() below builds the compressor from it.
-            method.compression = compression
-        method.prepare(fed, self.model, self.rng)
+        # The trainer-level spec overrides a method-level one for *this*
+        # binding only -- passed explicitly so the method object itself is
+        # never mutated (a method reused across trainers must not inherit
+        # an earlier trainer's compression).
+        method.prepare(fed, self.model, self.rng, compression=compression)
         label = getattr(method, "display_name", method.name)
         self.history = TrainingHistory(method=label, dataset=fed.name)
         self._params: np.ndarray = self.model.get_flat_params()

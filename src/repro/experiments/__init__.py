@@ -13,6 +13,7 @@ from repro.experiments.registry import (
     describe_experiment,
     run_experiment,
     run_experiment_multi_seed,
+    spec_for_experiment,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "describe_experiment",
     "run_experiment",
     "run_experiment_multi_seed",
+    "spec_for_experiment",
 ]

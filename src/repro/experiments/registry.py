@@ -1,25 +1,36 @@
 """Experiment registry: one entry per reproducible paper artifact.
 
-Every experiment is a function ``(scale, seed) -> ExperimentResult`` where
-``scale`` in {"smoke", "small", "paper"} controls workload size:
+Every experiment is registered under
+:data:`repro.api.registries.EXPERIMENTS` through ``@register_experiment``
+and is a function ``(scale, seed) -> ExperimentResult`` where ``scale``
+in {"smoke", "small", "paper"} controls workload size:
 
 - ``smoke``: seconds; CI-sized sanity run.
 - ``small``: minutes; the default, same as the benchmark suite.
 - ``paper``: the paper's parameters where feasible on a laptop (privacy
   computations exactly; utility runs with more rounds/records).
 
+The training-based experiments (fig04, fig06, fig08, fig09, sim01) are
+**specs**: :func:`spec_for_experiment` returns the
+:class:`repro.api.RunSpec` sweep they expand to, the registered function
+merely runs it through :func:`repro.api.run_sweep` and shapes rows -- so
+"an experiment" and "a config file" are the same artifact (the committed
+``examples/specs/<name>.toml`` files are these specs at small scale, and
+a test keeps them in sync).  The purely analytic experiments (fig02,
+fig12) stay function-based.
+
 Results carry both human-readable tables and machine-readable rows so the
-CLI can print and/or dump JSON.
+CLI can print and/or dump JSON; every spec-run history is stamped with
+its child spec + canonical hash.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
-from repro.core import Default, Trainer, UldpAvg, UldpGroup, UldpNaive, UldpSgd
+from repro.api.registries import EXPERIMENTS, register_experiment
+from repro.api.spec import RunSpec
 from repro.core.trainer import TrainingHistory
-from repro.data import build_creditcard_benchmark, build_heartdisease_benchmark
 from repro.report import comparison_table
 
 SCALES = ("smoke", "small", "paper")
@@ -60,9 +71,241 @@ def _scale_params(scale: str) -> dict:
     }[scale]
 
 
-# -- Figure 2 ------------------------------------------------------------------
+# -- spec-based experiments ----------------------------------------------------
+#
+# Each entry maps (scale, seed) to the dict tree of a RunSpec sweep.  The
+# trainer seed is ``seed + 1`` with the dataset pinned to ``seed`` --
+# exactly the legacy registry's construction, so the histories are
+# bit-identical to the pre-spec code path.
 
 
+def _creditcard_dataset(params: dict, seed: int, silos: int = 5) -> dict:
+    return {
+        "name": "creditcard",
+        "users": params["n_users"],
+        "silos": silos,
+        "records": params["n_records"],
+        "test_records": max(200, params["n_records"] // 5),
+        "distribution": "zipf",
+        "seed": seed,
+    }
+
+
+def _fig04_tree(scale: str, seed: int) -> dict:
+    """Creditcard privacy-utility comparison (one representative config)."""
+    params = _scale_params(scale)
+    return {
+        "name": "fig04",
+        "seed": seed + 1,
+        "rounds": params["rounds"],
+        "dataset": _creditcard_dataset(params, seed),
+        "sweep": {
+            "method": [
+                {"name": "default", "local_epochs": 2},
+                {"name": "uldp-naive", "sigma": 5.0, "local_epochs": 2},
+                {"name": "uldp-group", "group_size": 8, "sigma": 5.0,
+                 "local_epochs": 2, "batch_size": 512, "local_lr": 1.0},
+                {"name": "uldp-sgd", "sigma": 5.0},
+                {"name": "uldp-avg", "sigma": 5.0, "local_epochs": 2},
+                {"name": "uldp-avg-w", "sigma": 5.0, "local_epochs": 2},
+            ]
+        },
+    }
+
+
+def _fig06_tree(scale: str, seed: int) -> dict:
+    """HeartDisease comparison (4 fixed silos)."""
+    params = _scale_params(scale)
+    return {
+        "name": "fig06",
+        "seed": seed + 1,
+        "rounds": params["rounds"],
+        "dataset": {
+            "name": "heartdisease",
+            "users": min(params["n_users"], 50),
+            "distribution": "zipf",
+            "seed": seed,
+        },
+        "sweep": {
+            "method": [
+                {"name": "default", "local_epochs": 2},
+                {"name": "uldp-naive", "sigma": 5.0, "local_epochs": 2},
+                {"name": "uldp-group", "group_size": "median", "sigma": 5.0,
+                 "local_epochs": 2, "batch_size": 256, "local_lr": 1.0},
+                {"name": "uldp-avg", "sigma": 5.0, "local_epochs": 2},
+                {"name": "uldp-avg-w", "sigma": 5.0, "local_epochs": 2},
+            ]
+        },
+    }
+
+
+def _fig08_tree(scale: str, seed: int) -> dict:
+    """Uniform vs Eq. 3 weighting under skew (|S|=20)."""
+    params = _scale_params(scale)
+    return {
+        "name": "fig08",
+        "seed": seed + 1,
+        "rounds": params["rounds"],
+        "dataset": _creditcard_dataset(params, seed, silos=20),
+        "sweep": {
+            "method": [
+                {"name": "uldp-avg", "sigma": 5.0, "local_epochs": 2},
+                {"name": "uldp-avg-w", "sigma": 5.0, "local_epochs": 2},
+            ]
+        },
+    }
+
+
+def _fig09_tree(scale: str, seed: int) -> dict:
+    """User-level sub-sampling sweep (sample_rate=1.0 means no draw)."""
+    params = _scale_params(scale)
+    params = dict(params, n_users=max(params["n_users"], 100))
+    return {
+        "name": "fig09",
+        "seed": seed + 1,
+        "rounds": params["rounds"],
+        "dataset": _creditcard_dataset(params, seed),
+        "method": {"name": "uldp-avg-w", "sigma": 5.0, "local_epochs": 1},
+        "sweep": {"method.sample_rate": [0.1, 0.3, 0.5, 0.7, 1.0]},
+    }
+
+
+def _sim01_tree(scale: str, seed: int) -> dict:
+    """Participation-dynamics scenario sweep (the repro.sim runtime)."""
+    from repro.sim import available_scenarios
+
+    _scale_params(scale)  # validate the scale tier
+    return {
+        "name": "sim01",
+        "seed": seed,
+        "sim": {"scenario": "ideal-sync", "scale": scale},
+        "sweep": {"sim.scenario": available_scenarios()},
+    }
+
+
+_SPEC_EXPERIMENTS = {
+    "fig04": _fig04_tree,
+    "fig06": _fig06_tree,
+    "fig08": _fig08_tree,
+    "fig09": _fig09_tree,
+    "sim01": _sim01_tree,
+}
+
+
+def spec_for_experiment(name: str, scale: str = "small", seed: int = 0) -> RunSpec:
+    """The :class:`repro.api.RunSpec` a spec-based experiment expands to.
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` for the
+    analytic (function-only) experiments that have no spec form.
+    """
+    EXPERIMENTS.entry(name)  # uniform unknown-name error
+    if name not in _SPEC_EXPERIMENTS:
+        raise ValueError(
+            f"experiment {name!r} is analytic (not a training run); "
+            "it has no RunSpec form"
+        )
+    return RunSpec.from_dict(_SPEC_EXPERIMENTS[name](scale, seed))
+
+
+def _run_spec_experiment(name: str, scale: str, seed: int):
+    from repro.api.sweep import run_sweep
+
+    spec = spec_for_experiment(name, scale, seed)
+    return spec, run_sweep(spec)
+
+
+@register_experiment("fig04", description="creditcard privacy-utility comparison")
+def fig04_creditcard(scale: str, seed: int) -> ExperimentResult:
+    params = _scale_params(scale)
+    _, sweep = _run_spec_experiment("fig04", scale, seed)
+    return ExperimentResult(
+        name="fig04",
+        description=f"creditcard (zipf, |U|={params['n_users']}, "
+        f"{params['rounds']} rounds, sigma=5)",
+        histories=sweep.histories,
+    )
+
+
+@register_experiment("fig06", description="heartdisease comparison")
+def fig06_heartdisease(scale: str, seed: int) -> ExperimentResult:
+    params = _scale_params(scale)
+    _, sweep = _run_spec_experiment("fig06", scale, seed)
+    n_users = min(params["n_users"], 50)
+    return ExperimentResult(
+        name="fig06",
+        description=f"heartdisease (zipf, |U|={n_users}, {params['rounds']} rounds)",
+        histories=sweep.histories,
+    )
+
+
+@register_experiment("fig08", description="weighting strategies under skew")
+def fig08_weighting(scale: str, seed: int) -> ExperimentResult:
+    params = _scale_params(scale)
+    _, sweep = _run_spec_experiment("fig08", scale, seed)
+    return ExperimentResult(
+        name="fig08",
+        description=f"weighting strategies (zipf, |S|=20, {params['rounds']} rounds)",
+        histories=sweep.histories,
+    )
+
+
+@register_experiment("fig09", description="user-level sub-sampling sweep")
+def fig09_subsampling(scale: str, seed: int) -> ExperimentResult:
+    _, sweep = _run_spec_experiment("fig09", scale, seed)
+    n_users = sweep.results[0].dataset.n_users if sweep.results else 0
+    result = ExperimentResult(
+        name="fig09",
+        description=f"sub-sampling sweep (|U|={n_users}, sigma=5)",
+    )
+    for point, run_result in zip(sweep.points, sweep.results):
+        final = run_result.history.final
+        result.rows.append(
+            {
+                "q": point.assignments["method.sample_rate"],
+                "metric": final.metric,
+                "loss": final.loss,
+                "epsilon": final.epsilon,
+            }
+        )
+    return result
+
+
+@register_experiment("sim01", description="participation dynamics scenario sweep")
+def sim01_participation(scale: str, seed: int) -> ExperimentResult:
+    """Runs every named scenario at the given scale and tabulates final
+    utility, honest epsilon, mean per-round participation, and the
+    worst-case realised sensitivity -- the table showing what silo
+    dropout, stragglers, churn, and async aggregation cost relative to
+    the ``ideal-sync`` oracle."""
+    _, sweep = _run_spec_experiment("sim01", scale, seed)
+    result = ExperimentResult(
+        name="sim01",
+        description=f"participation dynamics scenario sweep (scale={scale})",
+    )
+    for point, run_result in zip(sweep.points, sweep.results):
+        sim = run_result.simulator
+        final = run_result.history.final
+        summary = run_result.history.participation_summary()
+        assert summary is not None
+        releases = sim.method.accountant.releases
+        worst = max((r.sensitivity for r in releases), default=1.0)
+        result.rows.append(
+            {
+                "scenario": point.assignments["sim.scenario"],
+                "metric": final.metric,
+                "epsilon": final.epsilon,
+                "mean_silos": summary[0],
+                "mean_users": summary[1],
+                "max_sensitivity": worst,
+            }
+        )
+    return result
+
+
+# -- analytic experiments ------------------------------------------------------
+
+
+@register_experiment("fig02", description="group-privacy conversion blow-up (exact)")
 def fig02_group_privacy(scale: str, seed: int) -> ExperimentResult:
     """GDP epsilon vs group size (both conversion routes)."""
     from repro.accounting.conversion import rdp_curve_to_dp
@@ -90,158 +333,12 @@ def fig02_group_privacy(scale: str, seed: int) -> ExperimentResult:
     return result
 
 
-# -- Figure 4 ------------------------------------------------------------------
-
-
-def fig04_creditcard(scale: str, seed: int) -> ExperimentResult:
-    """Creditcard privacy-utility comparison (one representative config)."""
-    params = _scale_params(scale)
-    fed = build_creditcard_benchmark(
-        n_users=params["n_users"], n_silos=5, distribution="zipf",
-        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
-        seed=seed,
-    )
-    methods = [
-        Default(local_epochs=2),
-        UldpNaive(noise_multiplier=5.0, local_epochs=2),
-        UldpGroup(group_size=8, noise_multiplier=5.0, local_steps=2,
-                  expected_batch_size=512, local_lr=1.0),
-        UldpSgd(noise_multiplier=5.0),
-        UldpAvg(noise_multiplier=5.0, local_epochs=2),
-        UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting="proportional"),
-    ]
-    result = ExperimentResult(
-        name="fig04",
-        description=f"creditcard (zipf, |U|={params['n_users']}, "
-        f"{params['rounds']} rounds, sigma=5)",
-    )
-    for method in methods:
-        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
-        result.histories.append(history)
-    return result
-
-
-# -- Figure 8 ------------------------------------------------------------------
-
-
-def fig08_weighting(scale: str, seed: int) -> ExperimentResult:
-    """Uniform vs Eq. 3 weighting under skew (|S|=20)."""
-    params = _scale_params(scale)
-    fed = build_creditcard_benchmark(
-        n_users=params["n_users"], n_silos=20, distribution="zipf",
-        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
-        seed=seed,
-    )
-    result = ExperimentResult(
-        name="fig08",
-        description=f"weighting strategies (zipf, |S|=20, {params['rounds']} rounds)",
-    )
-    for weighting in ("uniform", "proportional"):
-        method = UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting=weighting)
-        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
-        result.histories.append(history)
-    return result
-
-
-# -- Figure 9 ------------------------------------------------------------------
-
-
-def fig09_subsampling(scale: str, seed: int) -> ExperimentResult:
-    """User-level sub-sampling sweep."""
-    params = _scale_params(scale)
-    fed = build_creditcard_benchmark(
-        n_users=max(params["n_users"], 100), n_silos=5, distribution="zipf",
-        n_records=params["n_records"], n_test=max(200, params["n_records"] // 5),
-        seed=seed,
-    )
-    result = ExperimentResult(
-        name="fig09",
-        description=f"sub-sampling sweep (|U|={fed.n_users}, sigma=5)",
-    )
-    for q in (0.1, 0.3, 0.5, 0.7, 1.0):
-        method = UldpAvg(
-            noise_multiplier=5.0, local_epochs=1, weighting="proportional",
-            user_sample_rate=None if q == 1.0 else q,
-        )
-        final = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run().final
-        result.rows.append(
-            {"q": q, "metric": final.metric, "loss": final.loss, "epsilon": final.epsilon}
-        )
-    return result
-
-
-# -- Figure 6 ------------------------------------------------------------------
-
-
-def fig06_heartdisease(scale: str, seed: int) -> ExperimentResult:
-    """HeartDisease comparison (4 fixed silos)."""
-    params = _scale_params(scale)
-    fed = build_heartdisease_benchmark(
-        n_users=min(params["n_users"], 50), distribution="zipf", seed=seed
-    )
-    methods = [
-        Default(local_epochs=2),
-        UldpNaive(noise_multiplier=5.0, local_epochs=2),
-        UldpGroup(group_size="median", noise_multiplier=5.0, local_steps=2,
-                  expected_batch_size=256, local_lr=1.0),
-        UldpAvg(noise_multiplier=5.0, local_epochs=2),
-        UldpAvg(noise_multiplier=5.0, local_epochs=2, weighting="proportional"),
-    ]
-    result = ExperimentResult(
-        name="fig06",
-        description=f"heartdisease (zipf, |U|={fed.n_users}, {params['rounds']} rounds)",
-    )
-    for method in methods:
-        history = Trainer(fed, method, rounds=params["rounds"], seed=seed + 1).run()
-        result.histories.append(history)
-    return result
-
-
-# -- Simulation scenarios ------------------------------------------------------
-
-
-def sim01_participation(scale: str, seed: int) -> ExperimentResult:
-    """Participation-dynamics scenario sweep (the repro.sim runtime).
-
-    Runs every named scenario of :mod:`repro.sim.scenarios` at the given
-    scale and tabulates final utility, honest epsilon, mean per-round
-    participation, and the worst-case realised sensitivity -- the table
-    showing what silo dropout, stragglers, churn, and async aggregation
-    cost relative to the ``ideal-sync`` oracle.
-    """
-    from repro.sim import available_scenarios, run_scenario
-
-    _scale_params(scale)  # validate the scale tier
-    result = ExperimentResult(
-        name="sim01",
-        description=f"participation dynamics scenario sweep (scale={scale})",
-    )
-    for name in available_scenarios():
-        sim = run_scenario(name, scale=scale, seed=seed)
-        final = sim.history.final
-        summary = sim.history.participation_summary()
-        assert summary is not None
-        releases = sim.method.accountant.releases
-        worst = max((r.sensitivity for r in releases), default=1.0)
-        result.rows.append(
-            {
-                "scenario": name,
-                "metric": final.metric,
-                "epsilon": final.epsilon,
-                "mean_silos": summary[0],
-                "mean_users": summary[1],
-                "max_sensitivity": worst,
-            }
-        )
-    return result
-
-
-# -- Figure 12 -----------------------------------------------------------------
-
-
+@register_experiment("fig12", description="record allocation statistics")
 def fig12_allocation(scale: str, seed: int) -> ExperimentResult:
     """Record allocation statistics under both distributions."""
     import numpy as np
+
+    from repro.data import build_creditcard_benchmark
 
     params = _scale_params(scale)
     result = ExperimentResult(name="fig12", description="record allocation stats")
@@ -265,33 +362,19 @@ def fig12_allocation(scale: str, seed: int) -> ExperimentResult:
     return result
 
 
-_REGISTRY: dict[str, tuple[str, Callable[[str, int], ExperimentResult]]] = {
-    "fig02": ("group-privacy conversion blow-up (exact)", fig02_group_privacy),
-    "fig04": ("creditcard privacy-utility comparison", fig04_creditcard),
-    "fig06": ("heartdisease comparison", fig06_heartdisease),
-    "fig08": ("weighting strategies under skew", fig08_weighting),
-    "fig09": ("user-level sub-sampling sweep", fig09_subsampling),
-    "fig12": ("record allocation statistics", fig12_allocation),
-    "sim01": ("participation dynamics scenario sweep", sim01_participation),
-}
-
-
 def available_experiments() -> list[str]:
     """Names accepted by :func:`run_experiment`."""
-    return sorted(_REGISTRY)
+    return EXPERIMENTS.names()
 
 
 def describe_experiment(name: str) -> str:
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown experiment {name!r}; see available_experiments()")
-    return _REGISTRY[name][0]
+    """One-line description (unknown names get valid-name suggestions)."""
+    return EXPERIMENTS.describe(name)
 
 
 def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
     """Run one named experiment at the given scale."""
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown experiment {name!r}; see available_experiments()")
-    return _REGISTRY[name][1](scale, seed)
+    return EXPERIMENTS.get(name)(scale, seed)
 
 
 def run_experiment_multi_seed(

@@ -130,9 +130,10 @@ class SecureUldpAvg(UldpAvg):
                 "implemented for the secure path"
             )
 
-    def prepare(self, fed, model, rng) -> None:
-        self._validate_compression(self.compression)
-        super().prepare(fed, model, rng)
+    def prepare(self, fed, model, rng, compression=None) -> None:
+        effective = compression if compression is not None else self.compression
+        self._validate_compression(effective)
+        super().prepare(fed, model, rng, compression=compression)
         n_max = max(self.n_max, int(fed.user_totals().max(initial=1)))
         self.protocol = PrivateWeightingProtocol(
             fed.histogram(),

@@ -162,6 +162,12 @@ def history_to_dict(history: TrainingHistory) -> dict:
             for r in history.records
         ],
     }
+    # Spec provenance (stamped by repro.api.run): the resolved RunSpec
+    # snapshot plus its canonical hash make the archive self-describing.
+    if history.spec is not None:
+        data["spec"] = history.spec
+    if history.spec_hash is not None:
+        data["spec_hash"] = history.spec_hash
     if history.participation:
         data["participation"] = [
             {"round": p.round, "silos_seen": p.silos_seen, "users_seen": p.users_seen}
@@ -183,7 +189,12 @@ def history_from_dict(data: dict) -> TrainingHistory:
     """Inverse of :func:`history_to_dict`; validates the schema tag."""
     if data.get("schema") != "uldp-fl-history/v1":
         raise ValueError(f"unknown history schema: {data.get('schema')!r}")
-    history = TrainingHistory(method=data["method"], dataset=data["dataset"])
+    history = TrainingHistory(
+        method=data["method"],
+        dataset=data["dataset"],
+        spec=data.get("spec"),
+        spec_hash=data.get("spec_hash"),
+    )
     for r in data["records"]:
         history.records.append(
             RoundRecord(

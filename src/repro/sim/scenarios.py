@@ -1,24 +1,37 @@
 """Named federation scenarios: the registry behind ``repro simulate``.
 
-Each scenario is a complete recipe -- dataset scale, method, participation
-dynamics, aggregation policy, renormalisation strategy -- so results are
-reproducible from a name and a seed.  ``docs/scenarios.md`` describes each
-scenario's semantics and its privacy-accounting caveats.
+Each scenario is a complete participation recipe -- dropout, latency,
+churn, aggregation policy, renormalisation strategy, bandwidth --
+registered under :data:`repro.api.registries.SCENARIOS` through the
+``@register_scenario`` decorator, so third-party scenarios plug in
+without touching this module::
+
+    from repro.api import register_scenario
+
+    @register_scenario("my-outage", description="custom outage pattern")
+    def _my_outage(rounds: int, n_silos: int) -> dict:
+        return dict(policy=SyncPolicy(), renorm="survivors",
+                    dropout=SiloOutageWindows({1: (2, 5)}))
+
+A scenario factory maps ``(rounds, n_silos)`` to
+:class:`repro.sim.scheduler.SimConfig` overrides; the dataset (creditcard
+at the scale tier's size) and the method (``uldp-avg-w`` unless a
+:class:`repro.api.RunSpec` supplies one) are owned by
+:func:`build_scenario`.  ``docs/scenarios.md`` describes each builtin's
+semantics and its privacy-accounting caveats.
 
 The registry composes with checkpointing: :func:`run_scenario` snapshots
 every ``checkpoint_every`` releases and :func:`resume_simulator` rebuilds
-a simulator from a checkpoint directory (the scenario name and overrides
-travel inside the checkpoint's ``extra`` payload).
+a simulator from a checkpoint directory.  Checkpoints written through the
+spec API carry the resolved spec snapshot plus its canonical hash in
+their ``extra`` payload; resume recomputes the hash and **refuses a
+tampered or mismatched spec**.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
+from repro.api.registries import SCENARIOS, register_scenario
 from repro.compress import CompressionSpec
-from repro.core.methods.uldp_avg import UldpAvg
-from repro.data import build_creditcard_benchmark
 from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 from repro.sim.participation import (
     BandwidthModel,
@@ -44,20 +57,18 @@ def _scale_params(scale: str) -> dict:
     }[scale]
 
 
-@dataclass(frozen=True)
-class Scenario:
-    """One named simulation recipe."""
-
-    name: str
-    description: str
-    #: Maps (rounds, n_silos) to the scenario's :class:`SimConfig` fields.
-    config_factory: Callable[[int, int], dict]
-
-
+@register_scenario(
+    "ideal-sync",
+    description="synchronous, zero dropout -- the oracle matching Trainer exactly",
+)
 def _ideal_sync(rounds: int, n_silos: int) -> dict:
     return dict(policy=SyncPolicy(), renorm="none")
 
 
+@register_scenario(
+    "silo-outage",
+    description="silo 0 offline for a window of rounds; survivors renormalise",
+)
 def _silo_outage(rounds: int, n_silos: int) -> dict:
     start = max(1, rounds // 4)
     stop = min(rounds, start + max(2, rounds // 4))
@@ -68,10 +79,19 @@ def _silo_outage(rounds: int, n_silos: int) -> dict:
     )
 
 
+@register_scenario(
+    "flaky-silos",
+    description="iid 30% per-round silo dropout, weights left as-is (renorm=none)",
+)
 def _flaky_silos(rounds: int, n_silos: int) -> dict:
     return dict(policy=SyncPolicy(), renorm="none", dropout=IidSiloDropout(0.3))
 
 
+@register_scenario(
+    "carryover-makeup",
+    description="iid 30% dropout; returning silos make up missed weight "
+    "(sensitivity > 1 rounds are charged honestly)",
+)
 def _carryover_makeup(rounds: int, n_silos: int) -> dict:
     return dict(
         policy=SyncPolicy(),
@@ -81,6 +101,10 @@ def _carryover_makeup(rounds: int, n_silos: int) -> dict:
     )
 
 
+@register_scenario(
+    "stragglers-deadline",
+    description="semi-synchronous deadline at 1.5 units with one 2x-slow silo",
+)
 def _stragglers_deadline(rounds: int, n_silos: int) -> dict:
     # One persistently slow silo (2x median) plus heavy-tailed jitter.
     speed = tuple(2.0 if s == n_silos - 1 else 1.0 for s in range(n_silos))
@@ -91,6 +115,10 @@ def _stragglers_deadline(rounds: int, n_silos: int) -> dict:
     )
 
 
+@register_scenario(
+    "async-fedbuff",
+    description="buffered-async (FedBuff-style) staleness-weighted merging",
+)
 def _async_fedbuff(rounds: int, n_silos: int) -> dict:
     return dict(
         policy=BufferedAsyncPolicy(
@@ -101,6 +129,10 @@ def _async_fedbuff(rounds: int, n_silos: int) -> dict:
     )
 
 
+@register_scenario(
+    "user-churn",
+    description="5%/round user departures, 3%/round arrivals; survivors renormalise",
+)
 def _user_churn(rounds: int, n_silos: int) -> dict:
     return dict(
         policy=SyncPolicy(),
@@ -118,6 +150,11 @@ _BANDWIDTH_COMPRESSION = CompressionSpec(
 )
 
 
+@register_scenario(
+    "bandwidth-cap",
+    description="4 KB/round per-silo uplink caps; only compressed updates "
+    "(top-5% + 8-bit + error feedback) fit",
+)
 def _bandwidth_cap(rounds: int, n_silos: int) -> dict:
     # A 4 KB per-round uplink budget per silo: the dense float64 payload
     # (~33 KB for the creditcard MLP) would exclude every silo every
@@ -130,6 +167,11 @@ def _bandwidth_cap(rounds: int, n_silos: int) -> dict:
     )
 
 
+@register_scenario(
+    "bandwidth-stragglers",
+    description="semi-sync deadline where uplink transmission time joins "
+    "compute latency; one silo has a 4x-slower link",
+)
 def _bandwidth_stragglers(rounds: int, n_silos: int) -> dict:
     # Heterogeneous links under a semi-sync deadline: the last silo's
     # uplink is 4x slower, so its transmission time alone (~1.0 units on
@@ -145,71 +187,18 @@ def _bandwidth_stragglers(rounds: int, n_silos: int) -> dict:
     )
 
 
-_REGISTRY: dict[str, Scenario] = {
-    s.name: s
-    for s in (
-        Scenario(
-            "ideal-sync",
-            "synchronous, zero dropout -- the oracle matching Trainer exactly",
-            _ideal_sync,
-        ),
-        Scenario(
-            "silo-outage",
-            "silo 0 offline for a window of rounds; survivors renormalise",
-            _silo_outage,
-        ),
-        Scenario(
-            "flaky-silos",
-            "iid 30% per-round silo dropout, weights left as-is (renorm=none)",
-            _flaky_silos,
-        ),
-        Scenario(
-            "carryover-makeup",
-            "iid 30% dropout; returning silos make up missed weight "
-            "(sensitivity > 1 rounds are charged honestly)",
-            _carryover_makeup,
-        ),
-        Scenario(
-            "stragglers-deadline",
-            "semi-synchronous deadline at 1.5 units with one 2x-slow silo",
-            _stragglers_deadline,
-        ),
-        Scenario(
-            "async-fedbuff",
-            "buffered-async (FedBuff-style) staleness-weighted merging",
-            _async_fedbuff,
-        ),
-        Scenario(
-            "user-churn",
-            "5%/round user departures, 3%/round arrivals; survivors renormalise",
-            _user_churn,
-        ),
-        Scenario(
-            "bandwidth-cap",
-            "4 KB/round per-silo uplink caps; only compressed updates "
-            "(top-5% + 8-bit + error feedback) fit",
-            _bandwidth_cap,
-        ),
-        Scenario(
-            "bandwidth-stragglers",
-            "semi-sync deadline where uplink transmission time joins "
-            "compute latency; one silo has a 4x-slower link",
-            _bandwidth_stragglers,
-        ),
-    )
-}
-
-
 def available_scenarios() -> list[str]:
     """Names accepted by :func:`build_scenario` / ``repro simulate``."""
-    return sorted(_REGISTRY)
+    return SCENARIOS.names()
 
 
 def describe_scenario(name: str) -> str:
-    """One-line description of a named scenario."""
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown scenario {name!r}; see available_scenarios()")
-    return _REGISTRY[name].description
+    """One-line description of a named scenario.
+
+    Unknown names raise :class:`repro.api.registries.UnknownNameError`
+    (a ``KeyError`` listing valid names plus a nearest-match suggestion).
+    """
+    return SCENARIOS.describe(name)
 
 
 def build_scenario(
@@ -218,15 +207,21 @@ def build_scenario(
     seed: int = 0,
     rounds: int | None = None,
     noise_multiplier: float = 5.0,
+    method=None,
+    delta: float = 1e-5,
+    eval_every: int = 1,
 ) -> FederationSimulator:
     """Construct a ready-to-run simulator for a named scenario.
 
-    The construction is deterministic in (name, scale, seed, rounds): a
-    resumed checkpoint rebuilds the identical simulator through this
-    function before loading state.
+    The construction is deterministic in its arguments: a resumed
+    checkpoint rebuilds the identical simulator through this function
+    before loading state.  ``method`` (an :class:`repro.core.FLMethod`)
+    overrides the scenario family's canonical ``uldp-avg-w``; the spec
+    API builds it from the run's ``[method]`` section.
     """
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown scenario {name!r}; see available_scenarios()")
+    from repro.data import build_creditcard_benchmark
+
+    config_factory = SCENARIOS.get(name)
     params = _scale_params(scale)
     rounds = int(rounds) if rounds is not None else params["rounds"]
     fed = build_creditcard_benchmark(
@@ -237,13 +232,19 @@ def build_scenario(
         n_test=params["n_test"],
         seed=seed,
     )
-    method = UldpAvg(
-        noise_multiplier=noise_multiplier,
-        local_epochs=1,
-        weighting="proportional",
+    if method is None:
+        from repro.core.methods.uldp_avg import UldpAvg
+
+        method = UldpAvg(
+            noise_multiplier=noise_multiplier,
+            local_epochs=1,
+            weighting="proportional",
+        )
+    overrides = config_factory(rounds, fed.n_silos)
+    config = SimConfig(
+        rounds=rounds, seed=seed + 1, delta=delta, eval_every=eval_every,
+        **overrides,
     )
-    overrides = _REGISTRY[name].config_factory(rounds, fed.n_silos)
-    config = SimConfig(rounds=rounds, seed=seed + 1, **overrides)
     return FederationSimulator(fed, method, config)
 
 
@@ -257,7 +258,7 @@ def run_scenario(
 ) -> FederationSimulator:
     """Run a named scenario to completion (checkpointing along the way)."""
     sim = build_scenario(name, scale=scale, seed=seed, rounds=rounds)
-    _run_with_checkpoints(
+    run_simulator_with_checkpoints(
         sim,
         checkpoint_dir,
         checkpoint_every,
@@ -269,13 +270,28 @@ def run_scenario(
 def resume_simulator(checkpoint_dir: str) -> tuple[FederationSimulator, dict]:
     """Rebuild a simulator from a checkpoint directory (not yet run).
 
-    Returns ``(simulator, extra)`` where ``extra`` is the payload stored at
-    save time (scenario name and overrides).  Call ``simulator.run()`` --
-    or :func:`continue_simulation` -- to finish the remaining rounds.
+    Returns ``(simulator, extra)`` where ``extra`` is the payload stored
+    at save time.  Spec-stamped checkpoints (anything written through
+    ``repro run`` / the ``simulate`` shim) are verified first: the stored
+    snapshot must hash to the recorded ``spec_hash``, otherwise resume is
+    refused -- a tampered or schema-mismatched configuration must not
+    silently continue a run it does not describe.  Call
+    ``simulator.run()`` -- or :func:`continue_simulation` -- to finish
+    the remaining rounds.
     """
     state, extra = load_checkpoint(checkpoint_dir)
     if not extra or "scenario" not in extra:
         raise ValueError("checkpoint does not carry scenario metadata")
+    from repro.api.runner import build_simulator, verify_checkpoint_spec
+
+    spec = verify_checkpoint_spec(extra)
+    if spec is not None:
+        sim = build_simulator(spec)
+        sim.load_state(state)
+        # Re-stamp: load_state rebuilds history records but not the spec.
+        sim.history.spec = spec.to_dict()
+        sim.history.spec_hash = spec.hash()
+        return sim, extra
     sim = build_scenario(
         extra["scenario"],
         scale=extra.get("scale", "small"),
@@ -291,11 +307,11 @@ def continue_simulation(
 ) -> FederationSimulator:
     """Resume from a checkpoint and run the remaining rounds."""
     sim, extra = resume_simulator(checkpoint_dir)
-    _run_with_checkpoints(sim, checkpoint_dir, checkpoint_every, extra=extra)
+    run_simulator_with_checkpoints(sim, checkpoint_dir, checkpoint_every, extra=extra)
     return sim
 
 
-def _run_with_checkpoints(
+def run_simulator_with_checkpoints(
     sim: FederationSimulator,
     checkpoint_dir: str | None,
     checkpoint_every: int | None,

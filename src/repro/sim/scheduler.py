@@ -147,7 +147,9 @@ class FederationSimulator:
                     "buffered-async aggregation needs the per-silo step API "
                     "(UldpAvg and subclasses)"
                 )
-            spec = config.compression or getattr(method, "compression", None)
+            # The trainer above already ran prepare(), so the method's
+            # active_compression is the effective (trainer-override) spec.
+            spec = getattr(method, "active_compression", None)
             if spec is not None and not spec.is_identity:
                 raise ValueError(
                     "lossy update compression is not supported with "

@@ -1,0 +1,68 @@
+"""The committed example/experiment spec files stay valid and in sync."""
+
+import glob
+from pathlib import Path
+
+import pytest
+
+from repro.api.runner import validate_spec_names
+from repro.api.spec import RunSpec, expand_sweep
+
+SPEC_DIR = Path(__file__).resolve().parent.parent.parent / "examples" / "specs"
+
+
+def spec_files():
+    return sorted(glob.glob(str(SPEC_DIR / "*.toml")))
+
+
+class TestCommittedSpecs:
+    def test_directory_is_populated(self):
+        names = {Path(p).stem for p in spec_files()}
+        assert {"quickstart", "sigma_sweep", "bandwidth_sim"} <= names
+        assert {"fig04", "fig06", "fig08", "fig09", "sim01"} <= names
+
+    @pytest.mark.parametrize("path", spec_files(), ids=lambda p: Path(p).stem)
+    def test_file_validates(self, path):
+        spec = RunSpec.from_file(path)
+        for point in expand_sweep(spec):
+            validate_spec_names(point.spec)
+
+    @pytest.mark.parametrize("path", spec_files(), ids=lambda p: Path(p).stem)
+    def test_file_roundtrips(self, path):
+        spec = RunSpec.from_file(path)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestExperimentSpecSync:
+    """The experiment registry and its committed TOMLs are one artifact."""
+
+    @pytest.mark.parametrize("name", ["fig04", "fig06", "fig08", "fig09", "sim01"])
+    def test_toml_matches_registry(self, name):
+        import sys
+
+        sys.path.insert(0, str(SPEC_DIR.parent.parent / "tools"))
+        try:
+            from gen_experiment_specs import header_for
+        finally:
+            sys.path.pop(0)
+        from repro.experiments import spec_for_experiment
+
+        spec = spec_for_experiment(name, scale="small", seed=0)
+        committed = (SPEC_DIR / f"{name}.toml").read_text()
+        assert committed == spec.to_toml(header=header_for(name)), (
+            f"examples/specs/{name}.toml is stale; regenerate with "
+            "`python tools/gen_experiment_specs.py`"
+        )
+
+    def test_analytic_experiments_have_no_spec(self):
+        from repro.experiments import spec_for_experiment
+
+        with pytest.raises(ValueError, match="analytic"):
+            spec_for_experiment("fig02")
+
+    def test_unknown_experiment_suggested(self):
+        from repro.api.registries import UnknownNameError
+        from repro.experiments import spec_for_experiment
+
+        with pytest.raises(UnknownNameError, match="did you mean"):
+            spec_for_experiment("fig4")

@@ -1,0 +1,146 @@
+"""Tests for the decorator-based named registries."""
+
+import pytest
+
+from repro.api import builtin  # noqa: F401  (registers the builtins)
+from repro.api.registries import (
+    DATASETS,
+    METHODS,
+    Registry,
+    SPARSIFIERS,
+    UnknownNameError,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+
+        @reg.register("alpha", description="the first one")
+        def make_alpha():
+            return "A"
+
+        assert "alpha" in reg
+        assert reg.get("alpha") is make_alpha
+        assert reg.describe("alpha") == "the first one"
+        assert reg.names() == ["alpha"]
+        assert len(reg) == 1
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("alpha")(lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("alpha")(lambda: None)
+
+    def test_metadata_travels(self):
+        reg = Registry("widget")
+        reg.register("x", data_independent=True)(lambda: None)
+        assert reg.entry("x").meta["data_independent"] is True
+
+    def test_iteration_sorted(self):
+        reg = Registry("widget")
+        for name in ("zeta", "alpha", "mid"):
+            reg.register(name)(lambda: None)
+        assert list(reg) == ["alpha", "mid", "zeta"]
+
+
+class TestUnknownNameErrors:
+    def test_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            METHODS.get("nope")
+
+    def test_lists_valid_names(self):
+        with pytest.raises(UnknownNameError) as exc:
+            METHODS.get("not-a-method")
+        message = str(exc.value)
+        assert "valid:" in message
+        assert "uldp-avg-w" in message
+
+    def test_nearest_match_suggestion(self):
+        with pytest.raises(UnknownNameError) as exc:
+            METHODS.get("uldp-avgw")
+        assert "did you mean" in str(exc.value)
+        assert "uldp-avg" in str(exc.value)
+
+    def test_dataset_suggestion(self):
+        with pytest.raises(UnknownNameError) as exc:
+            DATASETS.get("creditcrd")
+        assert "did you mean 'creditcard'" in str(exc.value)
+
+    def test_str_is_unquoted(self):
+        err = UnknownNameError("method", "x", ["a", "b"])
+        assert not str(err).startswith("'")
+
+
+class TestBuiltinPopulation:
+    def test_methods_cover_the_paper(self):
+        names = METHODS.names()
+        for expected in (
+            "default", "uldp-naive", "uldp-group", "uldp-sgd",
+            "uldp-avg", "uldp-avg-w", "secure-uldp-avg",
+        ):
+            assert expected in names
+
+    def test_datasets_cover_the_paper(self):
+        assert set(DATASETS.names()) >= {
+            "creditcard", "mnist", "heartdisease", "tcgabrca"
+        }
+
+    def test_sparsifiers_registered(self):
+        assert set(SPARSIFIERS.names()) >= {"topk", "randk"}
+        assert SPARSIFIERS.entry("randk").meta["data_independent"] is True
+        assert SPARSIFIERS.entry("topk").meta["data_independent"] is False
+
+    def test_scenarios_registered_on_sim_import(self):
+        import repro.sim.scenarios  # noqa: F401
+        from repro.api.registries import SCENARIOS
+
+        assert "ideal-sync" in SCENARIOS.names()
+        assert "bandwidth-cap" in SCENARIOS.names()
+
+
+class TestThirdPartyExtension:
+    def test_custom_method_plugs_into_run(self):
+        """A method registered out of tree is runnable by name via a spec."""
+        from repro.api import RunSpec, run
+        from repro.api.registries import register_method
+        from repro.core import Default
+
+        name = "test-only-fedavg"
+        if name not in METHODS:
+
+            @register_method(name, description="registered by the test suite")
+            def _build(spec, crypto=None):
+                return Default(local_epochs=spec.local_epochs)
+
+        spec = RunSpec.from_dict({
+            "rounds": 1,
+            "dataset": {"users": 6, "silos": 2, "records": 80},
+            "method": {"name": name, "local_epochs": 1},
+        })
+        result = run(spec)
+        assert result.history.final.epsilon is None  # non-private baseline
+
+    def test_custom_sparsifier_accepted_by_compression_spec(self):
+        import numpy as np
+
+        from repro.api.registries import register_sparsifier
+        from repro.compress import CompressionSpec, UpdateCompressor
+
+        name = "test-only-firstk"
+        if name not in SPARSIFIERS:
+
+            @register_sparsifier(name, description="first k coordinates")
+            def _firstk(vec, k, rng):
+                return np.arange(k, dtype=np.int64)
+
+        spec = CompressionSpec(sparsify=name, fraction=0.5)
+        comp = UpdateCompressor(spec, n_silos=1, dim=4)
+        payload = comp.compress_uplink(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert payload.dense.tolist() == [1.0, 2.0, 0.0, 0.0]
+
+    def test_unknown_sparsifier_suggested(self):
+        from repro.compress import CompressionSpec
+
+        with pytest.raises(ValueError, match="did you mean 'topk'"):
+            CompressionSpec(sparsify="topkk")
