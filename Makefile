@@ -3,7 +3,7 @@
 #   make test           tier-1 test suite (what CI runs)
 #   make bench          all paper-figure benchmarks (slow, prints tables)
 #   make bench-engine   loop vs. vectorized engine speedup on fig05 MNIST
-#   make bench-protocol reference vs. fast crypto backend on Protocol 1
+#   make bench-protocol reference vs. fast Paillier vs. masked secagg
 #   make bench-sim      simulation runtime: 1M-user population + dropout
 #   make bench-compress update compression: uplink bytes vs utility (fig05)
 #   make sweep-smoke    validate every committed spec file, then one smoke

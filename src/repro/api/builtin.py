@@ -164,6 +164,7 @@ def _build_secure_uldp_avg(spec: MethodSpec, crypto: CryptoSpec | None = None):
         paillier_bits=crypto.paillier_bits,
         crypto_backend=crypto.backend,
         protocol_workers=crypto.workers,
+        mask_bits=crypto.mask_bits,
         engine=spec.engine,
         **_optional(spec, global_lr="global_lr"),
     )

@@ -42,7 +42,7 @@ SCALES = ("smoke", "small", "paper")
 DISTRIBUTIONS = ("uniform", "zipf")
 ENGINES = ("loop", "vectorized")
 GROUP_ROUTES = ("rdp", "dp")
-CRYPTO_BACKENDS = ("reference", "fast")
+CRYPTO_BACKENDS = ("reference", "fast", "masked")
 
 #: Method name whose factory consumes the ``crypto`` section.
 SECURE_METHOD = "secure-uldp-avg"
@@ -161,12 +161,18 @@ class PrivacySpec:
 
 @dataclass(frozen=True)
 class CryptoSpec:
-    """Protocol-1 wiring, consumed by the ``secure-uldp-avg`` method."""
+    """Secure-aggregation wiring, consumed by the ``secure-uldp-avg`` method.
+
+    ``backend="masked"`` selects pairwise-mask secure aggregation
+    (``mask_bits`` field width, ``paillier_bits``/``workers`` unused);
+    the Paillier backends (``"reference"``/``"fast"``) run Protocol 1.
+    """
 
     backend: str = "fast"
     paillier_bits: int = 512
     n_max: int = 64
     workers: int | None = None
+    mask_bits: int = 256
 
     def __post_init__(self):
         if self.backend not in CRYPTO_BACKENDS:
@@ -177,6 +183,10 @@ class CryptoSpec:
             raise SpecError("n_max must be at least 1")
         if self.workers is not None and self.workers < 1:
             raise SpecError("workers must be at least 1 (or omitted)")
+        if self.mask_bits < 64:
+            raise SpecError("mask_bits must be at least 64")
+        if self.mask_bits % 8 != 0:
+            raise SpecError("mask_bits must be a multiple of 8")
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,8 @@ library (``secrets``, ``hashlib``, ``math``):
   (Damgard et al.) used to hide user histograms from the server.
 - :mod:`repro.crypto.encoding` -- fixed-point encoding of real vectors into
   F_n (Algorithm 5 of the paper).
+- :mod:`repro.crypto.secagg` -- Bonawitz-style pairwise-mask secure
+  aggregation with dropout recovery (the ``crypto_backend="masked"`` path).
 
 The default key sizes used in tests and benchmarks are intentionally small
 (512-bit Paillier modulus, 512-bit DH group) so the full protocol runs in
@@ -37,6 +39,12 @@ from repro.crypto.blinding import BlindingFactory
 from repro.crypto.encoding import decode_scalar, decode_vector, encode_scalar, encode_vector
 from repro.crypto.fastexp import FixedBaseExp, choose_window
 from repro.crypto.pool import RandomizerPool
+from repro.crypto.secagg import (
+    MaskedAggregationProtocol,
+    MaskedServerView,
+    MaskedSilo,
+    derive_round_key,
+)
 
 __all__ = [
     "is_probable_prime",
@@ -56,6 +64,10 @@ __all__ = [
     "FixedBaseExp",
     "choose_window",
     "RandomizerPool",
+    "MaskedAggregationProtocol",
+    "MaskedServerView",
+    "MaskedSilo",
+    "derive_round_key",
     "encode_scalar",
     "encode_vector",
     "decode_scalar",

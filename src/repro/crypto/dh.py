@@ -50,7 +50,13 @@ class DHGroup:
         return cls(_test_prime(), 2)
 
     def keypair(self, rng: random.Random | None = None) -> "DHKeypair":
-        """Sample a private exponent and compute the public value."""
+        """Sample a private exponent and compute the public value.
+
+        By default the private key comes from the ``secrets`` CSPRNG --
+        the default path never reads or advances the global ``random``
+        state (a regression test pins this).  Pass an explicit seeded
+        ``random.Random`` only for reproducible tests and simulations.
+        """
         upper = self.prime - 2
         if rng is not None:
             private = rng.randrange(2, upper)

@@ -20,6 +20,11 @@ import numpy as np
 
 from repro.compress import CompressionSpec, scatter
 from repro.core.methods.uldp_avg import UldpAvg
+from repro.crypto.secagg import (
+    MaskedAggregationProtocol,
+    encode_weighted_payload,
+    weight_numerators,
+)
 from repro.protocol.oblivious import PrivateSubsampler
 from repro.protocol.runner import PrivateWeightingProtocol
 
@@ -37,6 +42,18 @@ class SecureUldpAvg(UldpAvg):
     randomizer pools, across-silo process parallelism via
     ``protocol_workers``) or "reference" (the seed implementation).  Both
     produce identical training histories under a seeded protocol RNG.
+    ``"masked"`` replaces Protocol 1's Paillier aggregation with
+    Bonawitz-style pairwise-mask secure aggregation
+    (:class:`repro.crypto.secagg.MaskedAggregationProtocol`): orders of
+    magnitude faster, ``mask_bits // 8`` uplink bytes per coordinate
+    instead of a Paillier ciphertext, and -- uniquely among the secure
+    backends -- it accepts :class:`~repro.core.weighting.RoundParticipation`
+    with silo dropout (unmatched masks are recovered from revealed
+    per-round keys).  The masked path follows the plaintext Algorithm 4
+    visibility model (silos see the server's zeroed sampling weights), so
+    it is bit-identical to the Paillier backends under full participation
+    and matches the plaintext :class:`UldpAvg` under any participation
+    pattern; it does not support the OT sub-sampling extension.
 
     ``compression`` admits only ``sparsify="randk"`` (or the identity):
     every silo restricts its encrypted round to the *same* random support
@@ -70,7 +87,14 @@ class SecureUldpAvg(UldpAvg):
         crypto_backend: str = "fast",
         protocol_workers: int | None = None,
         compression: CompressionSpec | None = None,
+        mask_bits: int = 256,
     ):
+        if crypto_backend == "masked" and private_subsampling_slots is not None:
+            raise ValueError(
+                "the OT sub-sampling extension is Paillier-specific "
+                "(Enc(0) dummy slots); use user_sample_rate with the "
+                "masked backend"
+            )
         if private_subsampling_slots is not None:
             if user_sample_rate is not None:
                 raise ValueError(
@@ -101,8 +125,11 @@ class SecureUldpAvg(UldpAvg):
         self.private_subsampling_slots = private_subsampling_slots
         self.crypto_backend = crypto_backend
         self.protocol_workers = protocol_workers
+        self.mask_bits = mask_bits
         self.subsampler: PrivateSubsampler | None = None
         self.protocol: PrivateWeightingProtocol | None = None
+        self.masked_protocol: MaskedAggregationProtocol | None = None
+        self._histogram: np.ndarray | None = None
 
     @property
     def display_name(self) -> str:
@@ -135,6 +162,17 @@ class SecureUldpAvg(UldpAvg):
         self._validate_compression(effective)
         super().prepare(fed, model, rng, compression=compression)
         n_max = max(self.n_max, int(fed.user_totals().max(initial=1)))
+        if self.crypto_backend == "masked":
+            self.masked_protocol = MaskedAggregationProtocol(
+                fed.n_silos,
+                mask_bits=self.mask_bits,
+                precision=self.precision,
+                n_max=n_max,
+                seed=self.protocol_seed,
+            )
+            self.masked_protocol.run_setup()
+            self._histogram = fed.histogram()
+            return
         self.protocol = PrivateWeightingProtocol(
             fed.histogram(),
             n_max=n_max,
@@ -151,18 +189,25 @@ class SecureUldpAvg(UldpAvg):
             self.subsampler = PrivateSubsampler(seed, self.private_subsampling_slots)
 
     def round(self, t, params, participation=None):
-        """Protocol 1 rounds require the full roster.
+        """Protocol 1 rounds require the full roster; masked rounds do not.
 
-        The encrypted per-user weights are fixed at setup; silo dropout
-        would desynchronise the blinding-mask cancellation.  Simulate
-        partial participation with the plaintext :class:`UldpAvg` instead.
+        The Paillier backends fix the encrypted per-user weights at setup,
+        so silo dropout would desynchronise the blinding-mask cancellation.
+        The pairwise-mask backend recovers unmatched masks from revealed
+        per-round keys, so it runs any
+        :class:`~repro.core.weighting.RoundParticipation` the plaintext
+        method accepts.
         """
-        if participation is not None:
+        if participation is not None and self.crypto_backend != "masked":
             raise NotImplementedError(
-                "SecureUldpAvg does not support partial participation; "
-                "simulate dropout with the plaintext UldpAvg"
+                "the Paillier crypto backends ('reference', 'fast') do not "
+                "support partial participation: per-user weights are fixed "
+                "inside the encrypted setup and silo dropout would "
+                "desynchronise the blinding-mask cancellation; use "
+                "crypto_backend='masked' (pairwise-mask secure aggregation "
+                "with dropout recovery) for secure rounds under dropout"
             )
-        return super().round(t, params)
+        return super().round(t, params, participation)
 
     def _compute_contributions(self, params, round_weights):
         """Silos must not learn the sub-sampling outcome (Protocol 1).
@@ -172,7 +217,15 @@ class SecureUldpAvg(UldpAvg):
         trains every present user; unsampled users are cancelled inside the
         encrypted domain by Enc(0) weights.  We therefore hand the parent
         the *unsampled* weight matrix.
+
+        The masked backend keeps the plaintext visibility model instead
+        (zeroed weights reach the silos), which is what lets it track the
+        plaintext method bit for bit under dropout -- and, because
+        zero-weight users contribute exactly zero either way, its
+        aggregate still matches the Paillier backends.
         """
+        if self.crypto_backend == "masked":
+            return super()._compute_contributions(params, round_weights)
         assert self.weights is not None
         return super()._compute_contributions(params, self.weights)
 
@@ -194,7 +247,6 @@ class SecureUldpAvg(UldpAvg):
         the d-dimensional update with exact zeros elsewhere.  The uplink
         shrinks from ``d`` to ``k`` ciphertexts per silo.
         """
-        assert self.protocol is not None
         dim = len(noises[0])
         support = None
         comp = self.compressor
@@ -205,6 +257,12 @@ class SecureUldpAvg(UldpAvg):
                 for per_silo in contributions
             ]
             noises = [noise[support] for noise in noises]
+        if self.crypto_backend == "masked":
+            sub_aggregate = self._aggregate_masked(contributions, noises, round_weights)
+            if support is None:
+                return sub_aggregate
+            return scatter(support, sub_aggregate, dim)
+        assert self.protocol is not None
         if self.subsampler is not None:
             sub_aggregate = self.protocol.run_round_ot_sampling(
                 contributions, noises, self.subsampler
@@ -221,23 +279,103 @@ class SecureUldpAvg(UldpAvg):
             return sub_aggregate
         return scatter(support, sub_aggregate, dim)
 
-    def uplink_payload_bytes(self) -> int:
-        """One silo's uplink in *ciphertext* bytes (not plaintext floats).
+    def _aggregate_masked(self, contributions, noises, round_weights):
+        """Masked secure aggregation over the (possibly partial) roster.
 
-        A secure round ships one Paillier ciphertext per surviving
-        coordinate, so bandwidth models must budget ``k * |Z_{n^2}|``
-        bytes -- typically 8-100x the plaintext estimate the base class
-        would report.
+        Each active silo encodes ``sum_u Encode(delta_su) * (n_su * C_LCM
+        / N_u) + Encode(z_s) * C_LCM`` into the mask field and uploads the
+        pairwise-masked vector; dropped silos upload nothing and their
+        unmatched masks are recovered inside the protocol.  The decoded
+        sum is the identical integer arithmetic the Paillier path
+        decrypts, so both secure backends agree bit for bit under full
+        participation.
         """
-        assert self.protocol is not None
+        proto = self.masked_protocol
+        assert proto is not None
+        active = self._active_silo_mask
+        fed, _, _ = self._require_prepared()
+        numerators = weight_numerators(round_weights, self._histogram, proto.c_lcm)
+        max_abs = max(
+            (float(np.abs(v).max(initial=0.0)) for v in noises),
+            default=0.0,
+        )
+        max_abs = max(
+            max_abs,
+            max(
+                (
+                    float(np.abs(delta).max(initial=0.0))
+                    for per_silo in contributions
+                    for delta in per_silo.values()
+                ),
+                default=0.0,
+            ),
+        )
+        proto.check_round_magnitude(
+            max_abs, num_terms=fed.n_silos * (fed.n_users + 1)
+        )
+        vectors: list[list[int] | None] = []
+        noise_index = 0
+        for s, per_user in enumerate(contributions):
+            if active is not None and not active[s]:
+                vectors.append(None)  # dropped silo: no payload, no noise slot
+                continue
+            noise = noises[noise_index]
+            noise_index += 1
+            vectors.append(
+                encode_weighted_payload(
+                    per_user,
+                    {user: numerators[s, user] for user in per_user},
+                    noise,
+                    self.precision,
+                    proto.c_lcm,
+                    proto.modulus,
+                )
+            )
+        totals = proto.run_round(vectors)
+        n_active = sum(1 for v in vectors if v is not None)
+        self._round_uplink_bytes = n_active * len(noises[0]) * proto.mask_bytes
+        return proto.decode_aggregate(totals)
+
+    def uplink_payload_bytes(self) -> int:
+        """One silo's uplink in *wire* bytes (not plaintext floats).
+
+        A secure round ships one Paillier ciphertext (Paillier backends)
+        or one ``mask_bits``-bit field element (masked backend) per
+        surviving coordinate, so bandwidth models must budget
+        ``k * |Z_{n^2}|`` resp. ``k * mask_bits/8`` bytes.
+        """
         _, model, _ = self._require_prepared()
         dim = model.num_params
         comp = self.compressor
         if comp is not None and comp.spec.sparsify == "randk":
             dim = comp.spec.keep_count(dim)
+        if self.crypto_backend == "masked":
+            assert self.masked_protocol is not None
+            return dim * self.masked_protocol.mask_bytes
+        assert self.protocol is not None
         return dim * self.protocol.ciphertext_bytes
 
     def timing_report(self) -> dict[str, float]:
         """Per-phase wall-clock totals (for the Fig. 10/11 benches)."""
+        if self.crypto_backend == "masked":
+            assert self.masked_protocol is not None
+            return self.masked_protocol.timer.report()
         assert self.protocol is not None
         return self.protocol.timer.report()
+
+    # -- checkpoint serialisation -------------------------------------------
+
+    def protocol_state_dict(self) -> dict | None:
+        """Dynamic protocol state for checkpointing (key material rebuilds
+        deterministically from ``protocol_seed`` at prepare time)."""
+        if self.masked_protocol is not None:
+            return {"backend": "masked", **self.masked_protocol.state_dict()}
+        return None
+
+    def load_protocol_state(self, state: dict) -> None:
+        if state.get("backend") != "masked" or self.masked_protocol is None:
+            raise ValueError(
+                "checkpoint and rebuilt method disagree about the crypto "
+                "backend; was the spec's crypto section changed?"
+            )
+        self.masked_protocol.load_state(state)

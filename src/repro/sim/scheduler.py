@@ -456,6 +456,14 @@ class FederationSimulator:
                 if getattr(self.method, "accountant", None) is not None
                 else None
             ),
+            # Secure methods carry live protocol state (e.g. the masked
+            # backend's round counter, which seeds the per-round masks);
+            # None for every other method.
+            "protocol": (
+                self.method.protocol_state_dict()
+                if hasattr(self.method, "protocol_state_dict")
+                else None
+            ),
             "population": self.population.state_dict(),
             "async": {
                 "version": self._version,
@@ -545,6 +553,17 @@ class FederationSimulator:
             acct._rhos = restored._rhos
             acct.history = restored.history
             acct.releases = restored.releases
+        # Optional key: snapshots written before secure-protocol state load
+        # fine (they never held a secure method).
+        protocol_state = state.get("protocol")
+        if protocol_state is not None:
+            if not hasattr(self.method, "load_protocol_state"):
+                raise ValueError(
+                    "checkpoint carries secure-protocol state but the "
+                    "rebuilt method cannot restore it; was the scenario's "
+                    "method changed?"
+                )
+            self.method.load_protocol_state(protocol_state)
         self.population.load_state(state["population"])
         async_state = state["async"]
         self._version = int(async_state["version"])

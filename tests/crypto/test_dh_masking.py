@@ -51,6 +51,37 @@ class TestDiffieHellman:
         assert g.generator == 2
 
 
+class TestDefaultKeygenIsCsprng:
+    """The default (rng=None) path must draw from ``secrets``, never the
+    seedable global ``random`` state -- a seeded test run must not make
+    production keys predictable."""
+
+    def test_default_keypair_leaves_global_random_state_untouched(self, group):
+        random.seed(0xBEEF)
+        before = random.getstate()
+        group.keypair()
+        assert random.getstate() == before
+
+    def test_default_keypairs_differ_despite_seeded_global_random(self, group):
+        # If keygen secretly read the global PRNG, reseeding between calls
+        # would reproduce the same private key.
+        random.seed(7)
+        a = group.keypair()
+        random.seed(7)
+        b = group.keypair()
+        assert a.private != b.private
+        assert a.public != b.public
+
+    def test_explicit_rng_is_reproducible(self, group):
+        a = group.keypair(rng=random.Random(42))
+        b = group.keypair(rng=random.Random(42))
+        assert a.private == b.private and a.public == b.public
+
+    def test_private_key_in_valid_range(self, group):
+        kp = group.keypair()
+        assert 2 <= kp.private <= group.prime - 3
+
+
 class TestStreamCipher:
     @given(st.binary(min_size=0, max_size=200))
     @settings(max_examples=50)
@@ -85,6 +116,41 @@ class TestPrgFieldElements:
     def test_rejects_bad_modulus(self):
         with pytest.raises(ValueError):
             prg_field_elements(b"s", 1, 1)
+
+    def test_distinct_contexts_yield_independent_streams(self):
+        # Not merely unequal: element-wise collisions across many draws
+        # would betray correlated streams.
+        a = prg_field_elements(b"seed", 64, 2**61 - 1, context="alpha")
+        b = prg_field_elements(b"seed", 64, 2**61 - 1, context="beta")
+        assert sum(x == y for x, y in zip(a, b)) == 0
+        # A context is not interchangeable with seed material either.
+        c = prg_field_elements(b"seedalpha", 64, 2**61 - 1, context="")
+        assert sum(x == y for x, y in zip(a, c)) == 0
+
+    def test_modulus_two_edge_case(self):
+        values = prg_field_elements(b"coin", 256, 2)
+        assert set(values) <= {0, 1}
+        # Both faces appear: 256 identical draws has probability 2^-255.
+        assert set(values) == {0, 1}
+
+    def test_one_byte_modulus_edge_case(self):
+        for modulus in (255, 256):
+            values = prg_field_elements(b"byte", 512, modulus)
+            assert all(0 <= v < modulus for v in values)
+            assert max(values) >= modulus - 8  # upper range reachable
+
+    def test_small_modulus_empirical_bias(self):
+        # The 16 extra bytes make reduction bias < 2^-128; empirically each
+        # residue of a small modulus should appear near-uniformly.  With
+        # n=5000 draws over modulus 5, each bucket ~ Binomial(5000, 0.2):
+        # std ~= 28, so +-5 std = 140 gives a deterministic-seed test with
+        # astronomically low flake probability (and it is seed-fixed anyway).
+        modulus, n = 5, 5000
+        values = prg_field_elements(b"bias-check", n, modulus)
+        expected = n / modulus
+        for residue in range(modulus):
+            count = values.count(residue)
+            assert abs(count - expected) < 140, (residue, count)
 
 
 class TestPairwiseMasker:

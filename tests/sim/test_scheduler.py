@@ -273,6 +273,9 @@ class TestSecureMethodGuard:
         from repro.protocol import SecureUldpAvg
 
         method = SecureUldpAvg.__new__(SecureUldpAvg)
+        # The guard is backend-conditional (crypto_backend="masked" accepts
+        # dropout); pin a Paillier backend on the bare instance.
+        method.crypto_backend = "fast"
         with pytest.raises(NotImplementedError):
             SecureUldpAvg.round(
                 method,
