@@ -165,6 +165,7 @@ def _build_secure_uldp_avg(spec: MethodSpec, crypto: CryptoSpec | None = None):
         crypto_backend=crypto.backend,
         protocol_workers=crypto.workers,
         mask_bits=crypto.mask_bits,
+        min_survivors=crypto.min_survivors,
         engine=spec.engine,
         **_optional(spec, global_lr="global_lr"),
     )

@@ -173,10 +173,15 @@ class CryptoSpec:
     n_max: int = 64
     workers: int | None = None
     mask_bits: int = 256
+    #: Masked-backend survivor quorum: abort (QuorumError) any round whose
+    #: surviving-silo count falls below this instead of aggregating.
+    min_survivors: int = 1
 
     def __post_init__(self):
         if self.backend not in CRYPTO_BACKENDS:
             raise SpecError(f"backend must be one of {CRYPTO_BACKENDS}")
+        if self.min_survivors < 1:
+            raise SpecError("min_survivors must be at least 1")
         if self.paillier_bits < 128:
             raise SpecError("paillier_bits must be at least 128")
         if self.n_max < 1:
@@ -207,6 +212,67 @@ class SimSpec:
             raise SpecError("checkpoint_every must be at least 1 (or omitted)")
 
 
+@dataclass(frozen=True)
+class NetSpec:
+    """Networked-federation runtime wiring (``repro serve`` / ``repro silo``).
+
+    Only meaningful alongside a ``[sim]`` section: the server process runs
+    the scenario's :class:`repro.sim.FederationSimulator` and farms each
+    round's per-silo training out to silo processes over TCP
+    (:mod:`repro.net`).  Timeouts are wall-clock seconds and name the
+    phase they bound: ``join_timeout`` (roster registration and silo-side
+    connects), ``ping_timeout`` (per-round liveness heartbeats),
+    ``round_timeout`` (one silo's compute+upload), ``idle_timeout`` (a
+    silo waiting for its next instruction).  ``min_quorum`` aborts the run
+    (:class:`repro.core.weighting.QuorumError`) when fewer live silos
+    answer a round's heartbeat.  ``faults`` is a deterministic
+    fault-injection plan (:class:`repro.net.faults.FaultPlan` tree) that
+    silo processes apply to themselves -- the chaos-test harness.
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 = OS-assigned (``repro serve`` prints the bound port).
+    port: int = 0
+    join_timeout: float = 30.0
+    round_timeout: float = 60.0
+    ping_timeout: float = 5.0
+    idle_timeout: float = 600.0
+    #: Silo-side connect/reconnect retries with exponential backoff.
+    connect_retries: int = 8
+    backoff_base: float = 0.1
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.5
+    min_quorum: int = 1
+    faults: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.host:
+            raise SpecError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise SpecError("port must lie in [0, 65535]")
+        for name in ("join_timeout", "round_timeout", "ping_timeout", "idle_timeout"):
+            if getattr(self, name) <= 0:
+                raise SpecError(f"{name} must be positive")
+        if self.connect_retries < 0:
+            raise SpecError("connect_retries must be non-negative")
+        if self.backoff_base <= 0:
+            raise SpecError("backoff_base must be positive")
+        if self.backoff_max < self.backoff_base:
+            raise SpecError("backoff_max must be at least backoff_base")
+        if not 0 <= self.backoff_jitter <= 1:
+            raise SpecError("backoff_jitter must lie in [0, 1]")
+        if self.min_quorum < 1:
+            raise SpecError("min_quorum must be at least 1")
+        if not isinstance(self.faults, dict):
+            raise SpecError("faults must be a table (a FaultPlan tree)")
+        from repro.net.faults import FaultPlan
+
+        try:
+            FaultPlan.from_tree(self.faults)
+        except ValueError as exc:
+            raise SpecError(f"faults: {exc}") from exc
+
+
 # -- the root -----------------------------------------------------------------
 
 #: Section name -> dataclass of the subtree.
@@ -218,6 +284,7 @@ _SECTIONS: dict[str, type] = {
     "compression": CompressionSpec,
     "sim": SimSpec,
     "crypto": CryptoSpec,
+    "net": NetSpec,
 }
 
 #: Scalar keys living directly on the root.
@@ -243,6 +310,7 @@ class RunSpec:
     compression: CompressionSpec | None = None
     sim: SimSpec | None = None
     crypto: CryptoSpec | None = None
+    net: NetSpec | None = None
     #: Sweep axes: dotted config path -> list of values (one grid).
     sweep: dict = field(default_factory=dict)
 
@@ -279,6 +347,11 @@ class RunSpec:
                 object.__setattr__(self, "dataset", DatasetSpec())
             if self.method is None:
                 object.__setattr__(self, "method", MethodSpec())
+        if self.net is not None and self.sim is None:
+            raise SpecError(
+                "net: only meaningful alongside [sim] -- repro serve "
+                "drives a named scenario (see docs/networking.md)"
+            )
         if self.crypto is not None and self.method.name != SECURE_METHOD:
             raise SpecError(
                 f"crypto: only consumed by method.name={SECURE_METHOD!r} "
@@ -326,6 +399,8 @@ class RunSpec:
             data["sim"] = dataclasses.asdict(self.sim)
         if self.crypto is not None:
             data["crypto"] = dataclasses.asdict(self.crypto)
+        if self.net is not None:
+            data["net"] = dataclasses.asdict(self.net)
         if self.sweep:
             data["sweep"] = {p: list(v) for p, v in self.sweep.items()}
         return data

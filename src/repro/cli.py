@@ -254,6 +254,99 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run a simulate-mode [net] spec as the federation server."""
+    from repro.api.runner import validate_spec_names
+    from repro.core.weighting import QuorumError
+    from repro.net.server import FederationServer
+    from repro.net.transport import TransportError
+
+    try:
+        if args.resume:
+            if args.config or args.set:
+                raise SpecError(
+                    "--resume rebuilds from the checkpoint's stored spec; "
+                    "drop --config/--set (overrides would break the "
+                    "spec-hash handshake with the silos)"
+                )
+            from repro.sim.scenarios import resume_simulator
+
+            sim, extra = resume_simulator(args.resume)
+            if not extra or "spec" not in extra:
+                raise SpecError(
+                    "checkpoint carries no spec snapshot; only checkpoints "
+                    "written by `repro serve`/`repro run` can be served"
+                )
+            spec = RunSpec.from_dict(extra["spec"])
+            server = FederationServer(spec, sim=sim)
+            print(f"resumed from {args.resume} at round "
+                  f"{sim.rounds_completed}")
+        else:
+            spec = _spec_from_config_args(args)
+            validate_spec_names(spec)
+            server = FederationServer(spec)
+    except (ValueError, UnknownNameError) as exc:
+        return _fail(exc)
+    port = server.bind()
+    print(
+        f"serving {spec.name} on {spec.net.host}:{port} "
+        f"({server.sim.fed.n_silos} silos, {server.sim.config.rounds} "
+        "rounds)",
+        flush=True,
+    )
+    procs = []
+    if args.spawn_silos:
+        import json
+        import subprocess
+        import tempfile
+
+        # The silos rebuild everything from the spec, so hand them the
+        # resolved tree (uniform for the fresh and the resume case).
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", prefix="repro-net-", delete=False
+        ) as tmp:
+            json.dump(spec.to_dict(), tmp)
+            spec_file = tmp.name
+        for s in range(server.sim.fed.n_silos):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "silo",
+                 "--config", spec_file, "--silo-id", str(s),
+                 "--port", str(port)]
+            ))
+    try:
+        server.serve()
+    except (QuorumError, TransportError) as exc:
+        return _fail(exc)
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    _print_sim_result(server.sim)
+    if args.output:
+        from repro.report import save_histories
+
+        save_histories([server.sim.history], args.output)
+        print(f"history saved to {args.output}")
+    return 0
+
+
+def cmd_silo(args) -> int:
+    """Join a federation server as one silo worker process."""
+    try:
+        spec = _spec_from_config_args(args)
+        from repro.api.runner import validate_spec_names
+
+        validate_spec_names(spec)
+        from repro.net.silo_client import SiloClient
+
+        client = SiloClient(spec, args.silo_id, port=args.port)
+    except (ValueError, UnknownNameError) as exc:
+        return _fail(exc)
+    return client.run()
+
+
 def _spec_from_config_args(args) -> RunSpec:
     """Shared --config/--set resolution for ``run`` and ``sweep``."""
     tree = load_spec_tree(args.config) if args.config else {}
@@ -530,6 +623,40 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--output", type=str, default=None,
                           help="write the history JSON here")
     simulate.set_defaults(func=cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a [net] spec as the federation server (silos connect "
+        "as separate `repro silo` processes)",
+    )
+    serve.add_argument("--config", type=str, default=None,
+                       help="simulate-mode spec with a [net] section")
+    serve.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       help="dotted-path override, e.g. net.port=7000")
+    serve.add_argument("--resume", type=str, default=None, metavar="CKPT",
+                       help="resume a killed run from its checkpoint "
+                       "directory (silos reconnect; refuses a tampered "
+                       "spec)")
+    serve.add_argument("--spawn-silos", action="store_true",
+                       help="launch the scenario's silo processes locally "
+                       "(single-machine runs and smoke tests)")
+    serve.add_argument("--output", type=str, default=None,
+                       help="write the history JSON here")
+    serve.set_defaults(func=cmd_serve)
+
+    silo = sub.add_parser(
+        "silo", help="join a federation server as one silo worker"
+    )
+    silo.add_argument("--config", type=str, default=None,
+                      help="the server's spec file (hashes must match)")
+    silo.add_argument("--set", action="append", metavar="PATH=VALUE",
+                      help="dotted-path override (must mirror the server's)")
+    silo.add_argument("--silo-id", type=int, required=True,
+                      help="this worker's silo index (0-based)")
+    silo.add_argument("--port", type=int, default=None,
+                      help="server port (overrides net.port; required when "
+                      "the spec uses port 0)")
+    silo.set_defaults(func=cmd_silo)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", nargs="?", default=None,

@@ -124,6 +124,13 @@ class UldpAvg(FLMethod):
         # Set by _aggregate (and the SecureUldpAvg override): uplink wire
         # bytes of the round just aggregated.
         self._round_uplink_bytes: int | None = None
+        #: Optional replacement for the in-process contribution loop: a
+        #: callable ``(params, round_weights, noise_std, active_mask) ->
+        #: (contributions, noises)`` that farms each silo's
+        #: :meth:`silo_round_segment` out to a real silo process.  The
+        #: networked runtime (:mod:`repro.net`) installs one per round;
+        #: None (the default) keeps everything in-process.
+        self.contribution_executor = None
 
     @property
     def display_name(self) -> str:
@@ -246,6 +253,15 @@ class UldpAvg(FLMethod):
         # matching the user-level sensitivity C at noise multiplier sigma.
         noise_silos = self._noise_silos if self._noise_silos is not None else fed.n_silos
         noise_std = self.noise_multiplier * self.clip / np.sqrt(noise_silos)
+        if self.contribution_executor is not None:
+            if self.record_clip_stats:
+                raise NotImplementedError(
+                    "record_clip_stats is not supported with a contribution "
+                    "executor (remote silos do not report clip factors)"
+                )
+            return self.contribution_executor(
+                params, round_weights, float(noise_std), self._active_silo_mask
+            )
         factors = np.full((fed.n_silos, fed.n_users), np.nan)
 
         if self.engine == "vectorized":
@@ -302,37 +318,57 @@ class UldpAvg(FLMethod):
         noise_std: float,
         factors: np.ndarray,
     ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
-        """All (silo, user) deltas of the round in one batched engine call.
+        """Each silo's per-user deltas via one batched engine call *per silo*.
 
         Jobs and noise are *drawn* in the loop path's order (per silo:
         schedules, then noise) so both engines consume the shared RNG
-        identically; the deferred batched training itself draws nothing.
+        identically; the batched training itself draws nothing.
+
+        Batching per silo rather than across the whole round is what makes
+        this path *structurally identical* to :meth:`silo_round_segment` --
+        the computation a remote silo process runs under :mod:`repro.net`.
+        BLAS reductions are composition-dependent at the ULP level, so a
+        networked round can only be bit-identical to an in-process one if
+        both batch over exactly the same job sets.
         """
         fed, model, _ = self._require_prepared()
-        jobs, spans = [], []
+        spans: list[list[int]] = []
+        blocks: list[np.ndarray] = []
         noises: list[np.ndarray] = []
         for s, silo in enumerate(fed.silos):
             if self._active_silo_mask is not None and not self._active_silo_mask[s]:
                 spans.append([])
                 continue
             users = [int(u) for u in silo.users_present() if round_weights[s, u] != 0.0]
-            for user in users:
-                x, y = silo.records_of_user(user)
-                jobs.append(self._local_job(x, y, self.local_epochs, self.batch_size))
+            jobs = [
+                self._local_job(
+                    *silo.records_of_user(user), self.local_epochs, self.batch_size
+                )
+                for user in users
+            ]
             spans.append(users)
             noises.append(self._gaussian_noise(noise_std, params.size))
+            if not jobs:
+                continue
+            silo_rows, silo_factors = batched_clipped_local_deltas(
+                model, fed.task, params, jobs,
+                self.local_lr, self.local_epochs, self.clip,
+            )
+            # The engine returns pooled buffers valid only until its next
+            # call -- copy before the next silo's batch overwrites them.
+            blocks.append(silo_rows.copy())
+            if self.record_clip_stats:
+                factors[s, users] = silo_factors
 
-        clipped, all_factors = batched_clipped_local_deltas(
-            model, fed.task, params, jobs,
-            self.local_lr, self.local_epochs, self.clip,
+        clipped = (
+            np.concatenate(blocks, axis=0)
+            if blocks
+            else np.zeros((0, params.size))
         )
-
         dicts: list[dict[int, np.ndarray]] = []
         pairs: list[tuple[int, int]] = []
         row = 0
         for s, users in enumerate(spans):
-            if self.record_clip_stats and users:
-                factors[s, users] = all_factors[row : row + len(users)]
             dicts.append({user: clipped[row + i] for i, user in enumerate(users)})
             pairs.extend((s, user) for user in users)
             row += len(users)
@@ -491,6 +527,59 @@ class UldpAvg(FLMethod):
                 payload += w * l2_clip(delta, self.clip)
             payload += self._gaussian_noise(noise_std, params.size)
         return payload, np.array(users, dtype=np.int64), weights
+
+    def silo_round_segment(
+        self,
+        s: int,
+        params: np.ndarray,
+        weight_row: np.ndarray,
+        noise_std: float,
+    ) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """One silo's slice of a synchronous round, for remote execution.
+
+        Runs exactly the computation :meth:`_compute_contributions`
+        performs for silo ``s`` -- same RNG draw order (job schedules,
+        then the noise vector), same per-silo batched engine call -- so a
+        silo process that first restores the server's chained RNG state
+        produces bit-identical results to the in-process simulator (the
+        :mod:`repro.net` ideal-network oracle).  ``weight_row`` is silo
+        s's row of the realised round weights; users with zero weight are
+        skipped, mirroring Algorithm 4's visibility model.
+
+        Returns ``(users, rows, noise)``: the contributing user ids,
+        their clipped delta rows (``(len(users), P)``, safe to keep), and
+        the silo's Gaussian noise vector.
+        """
+        fed, model, _ = self._require_prepared()
+        silo = fed.silos[s]
+        users = [int(u) for u in silo.users_present() if weight_row[u] != 0.0]
+        if self.engine == "vectorized":
+            jobs = [
+                self._local_job(
+                    *silo.records_of_user(user), self.local_epochs, self.batch_size
+                )
+                for user in users
+            ]
+            noise = self._gaussian_noise(noise_std, params.size)
+            if jobs:
+                rows, _ = batched_clipped_local_deltas(
+                    model, fed.task, params, jobs,
+                    self.local_lr, self.local_epochs, self.clip,
+                )
+                rows = rows.copy()  # engine buffers are pooled
+            else:
+                rows = np.zeros((0, params.size))
+        else:
+            deltas = []
+            for user in users:
+                x, y = silo.records_of_user(user)
+                delta = self._local_delta(
+                    params, x, y, self.local_lr, self.local_epochs, self.batch_size
+                )
+                deltas.append(l2_clip(delta, self.clip))
+            noise = self._gaussian_noise(noise_std, params.size)
+            rows = np.stack(deltas) if deltas else np.zeros((0, params.size))
+        return users, rows, noise
 
     def apply_aggregate(
         self, params: np.ndarray, aggregate: np.ndarray, n_updates: int

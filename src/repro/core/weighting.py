@@ -32,6 +32,20 @@ import numpy as np
 RENORMS = ("none", "survivors", "carryover")
 
 
+class QuorumError(RuntimeError):
+    """A round has fewer live or surviving silos than the configured quorum.
+
+    Raised instead of aggregating: releasing an aggregate built from too
+    few silos both wastes privacy budget on a noise-dominated update and
+    -- for the masked secure backend -- concentrates the revealed
+    mask-recovery keys on a small survivor set.  Shared by the networked
+    runtime's ``net.min_quorum`` (live-silo quorum, checked before a round
+    starts) and :class:`repro.protocol.SecureUldpAvg`'s ``min_survivors``
+    (surviving-silo quorum, checked at aggregation time so simulated
+    dropout counts too).
+    """
+
+
 def uniform_weights(n_silos: int, n_users: int) -> np.ndarray:
     """W[s, u] = 1/|S| for all s, u (the default ULDP-AVG weighting)."""
     if n_silos < 1 or n_users < 1:

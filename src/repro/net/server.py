@@ -1,0 +1,368 @@
+"""The round-orchestrating federation server (``repro serve``).
+
+:class:`FederationServer` owns the same
+:class:`repro.sim.FederationSimulator` the in-process runtime drives, but
+farms each silo's per-round training out to real silo processes
+(:mod:`repro.net.silo_client`) over the :mod:`repro.net.wire` protocol.
+
+Design invariants:
+
+- **Bit-identity with the in-process simulator.**  The server installs a
+  per-round :attr:`contribution_executor
+  <repro.core.methods.uldp_avg.UldpAvg.contribution_executor>` that walks
+  the silos in index order, sending each active silo the current params,
+  its realised weight row, the round's noise std, and the server RNG's
+  bit-generator state; the silo restores that state, runs
+  :meth:`silo_round_segment
+  <repro.core.methods.uldp_avg.UldpAvg.silo_round_segment>` (the exact
+  per-silo computation the in-process engines run), and returns the
+  advanced RNG state with its rows.  Chaining the RNG through the silos
+  in order reproduces the in-process draw sequence exactly, so an
+  ideal-network run matches :class:`repro.sim.FederationSimulator`
+  aggregate-for-aggregate and epsilon-for-epsilon.
+- **Timeout-driven dropout.**  A silo that misses the liveness ping or
+  its compute deadline becomes an *observed* dropout for the round
+  (:attr:`FederationSimulator.external_dropout`): the masked secure
+  backend recovers exactly as it does for simulated dropout, and the
+  round is retried from a state snapshot without the failed silo.  When
+  live silos fall below ``net.min_quorum`` the server broadcasts an
+  abort and raises :class:`repro.core.weighting.QuorumError`.
+- **Crash-safe resume.**  With ``sim.checkpoint_dir`` set the server
+  snapshots on the same cadence as the in-process runtime; ``repro serve
+  --resume`` rebuilds the simulator from the (spec-verified) checkpoint
+  and silos simply reconnect -- they are stateless between rounds.
+
+See ``docs/networking.md`` for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from repro.api.runner import build_simulator, checkpoint_extra
+from repro.api.spec import RunSpec, SpecError
+from repro.core.methods.uldp_avg import _RoundContributions
+from repro.core.weighting import QuorumError
+from repro.net.transport import (
+    DeadlineExceeded,
+    MessageSocket,
+    TransportError,
+)
+from repro.net.wire import WIRE_VERSION, WireError
+
+
+class SiloFailure(Exception):
+    """A silo failed mid-round (deadline, transport, or bad reply)."""
+
+    def __init__(self, silo: int, reason: str):
+        super().__init__(f"silo {silo}: {reason}")
+        self.silo = silo
+        self.reason = reason
+
+
+class _RemoteExecutor:
+    """One round's contribution executor: serial COMPUTE walk over silos.
+
+    The walk is deliberately serial -- silo s+1's RNG state is only known
+    once silo s's reply arrives, which is the price of bit-identity with
+    the in-process simulator (and what makes thread-based tests safe:
+    server and silos never run the pooled training engine concurrently).
+    """
+
+    def __init__(self, server: "FederationServer", round_no: int):
+        self.server = server
+        self.round_no = round_no
+
+    def __call__(self, params, round_weights, noise_std, active_mask):
+        server = self.server
+        sim = server.sim
+        method = sim.method
+        rng = method.rng
+        n_silos = sim.fed.n_silos
+        size = params.size
+        dicts: list[dict[int, np.ndarray]] = []
+        pairs: list[tuple[int, int]] = []
+        blocks: list[np.ndarray] = []
+        noises: list[np.ndarray] = []
+        for s in range(n_silos):
+            if active_mask is not None and not active_mask[s]:
+                dicts.append({})
+                continue
+            conn = server.conns.get(s)
+            if conn is None:
+                raise SiloFailure(s, "connection lost before compute")
+            state = rng.bit_generator.state
+            try:
+                conn.send(
+                    "compute",
+                    {"round": self.round_no, "noise_std": float(noise_std),
+                     "rng_state": state},
+                    arrays={"params": params,
+                            "weights": np.ascontiguousarray(round_weights[s])},
+                )
+                frame = conn.recv_matching(
+                    "update", self.round_no, server.net.round_timeout)
+            except DeadlineExceeded as exc:
+                raise SiloFailure(
+                    s, f"missed the {server.net.round_timeout:.1f}s compute "
+                    f"deadline ({exc})") from exc
+            except (TransportError, WireError) as exc:
+                raise SiloFailure(s, f"transport failure: {exc}") from exc
+            users = frame.payload.get("users")
+            rows = frame.arrays.get("rows")
+            noise = frame.arrays.get("noise")
+            if (not isinstance(users, list) or rows is None or noise is None
+                    or rows.shape != (len(users), size)
+                    or noise.shape != (size,)):
+                raise SiloFailure(s, "malformed update frame")
+            try:
+                rng.bit_generator.state = frame.payload["rng_state"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SiloFailure(s, f"bad rng state in update: {exc}") from exc
+            users = [int(u) for u in users]
+            rows = np.ascontiguousarray(rows, dtype=np.float64)
+            dicts.append({u: rows[i] for i, u in enumerate(users)})
+            pairs.extend((s, u) for u in users)
+            blocks.append(rows)
+            noises.append(np.ascontiguousarray(noise, dtype=np.float64))
+        if method.engine != "vectorized":
+            # The loop engine's _aggregate fallback sums silo-by-silo; hand
+            # it plain dicts so the summation order (and hence the floats)
+            # match the in-process loop path exactly.
+            return dicts, noises
+        matrix = (np.concatenate(blocks, axis=0) if blocks
+                  else np.zeros((0, size)))
+        return _RoundContributions(dicts, matrix, pairs), noises
+
+
+class FederationServer:
+    """Drives one simulate-mode spec over real silo connections."""
+
+    def __init__(self, spec: RunSpec, sim=None):
+        if spec.net is None:
+            raise SpecError("spec has no [net] section; nothing to serve")
+        if not spec.is_simulation:
+            raise SpecError("repro serve needs a [sim] scenario spec")
+        self.spec = spec
+        self.net = spec.net
+        self.sim = sim if sim is not None else build_simulator(spec)
+        method = self.sim.method
+        if not hasattr(method, "silo_round_segment"):
+            raise SpecError(
+                "repro serve supports the ULDP-AVG method family "
+                f"(methods with a silo_round_segment API); "
+                f"{type(method).__name__} has none")
+        from repro.sim.policies import BufferedAsyncPolicy
+
+        if isinstance(self.sim.config.policy, BufferedAsyncPolicy):
+            raise SpecError(
+                "the networked runtime drives synchronous / semi-"
+                "synchronous rounds; buffered-async scenarios are "
+                "in-process only")
+        if self.net.min_quorum > self.sim.fed.n_silos:
+            raise SpecError(
+                f"net.min_quorum={self.net.min_quorum} exceeds the "
+                f"scenario's {self.sim.fed.n_silos} silos")
+        self.spec_hash = spec.hash()
+        # Stamp the history like repro.run does (idempotent on resume).
+        self.sim.history.spec = spec.to_dict()
+        self.sim.history.spec_hash = self.spec_hash
+        self.listener: socket.socket | None = None
+        self.port: int | None = None
+        self.conns: dict[int, MessageSocket] = {}
+
+    # -- connection management -----------------------------------------------
+
+    def bind(self) -> int:
+        """Listen on ``net.host:net.port``; returns the bound port
+        (OS-assigned when the spec says port 0)."""
+        if self.listener is None:
+            self.listener = socket.create_server(
+                (self.net.host, self.net.port))
+            self.port = self.listener.getsockname()[1]
+        return self.port
+
+    def close(self) -> None:
+        for conn in self.conns.values():
+            conn.close()
+        self.conns.clear()
+        if self.listener is not None:
+            try:
+                self.listener.close()
+            except OSError:
+                pass
+            self.listener = None
+
+    def _handshake(self, raw_sock: socket.socket) -> int | None:
+        """HELLO/WELCOME on a fresh connection; returns the silo id."""
+        conn = MessageSocket(raw_sock)
+        try:
+            frame = conn.recv(timeout=self.net.ping_timeout)
+        except (TransportError, WireError):
+            conn.close()
+            return None
+        reason = None
+        silo = frame.payload.get("silo")
+        if frame.type != "hello":
+            reason = f"expected a hello frame, got {frame.type!r}"
+        elif not isinstance(silo, int) or not 0 <= silo < self.sim.fed.n_silos:
+            reason = (f"unknown silo id {silo!r} "
+                      f"(roster has {self.sim.fed.n_silos} silos)")
+        elif frame.payload.get("wire") != WIRE_VERSION:
+            reason = (f"wire version {frame.payload.get('wire')!r} != "
+                      f"{WIRE_VERSION}")
+        elif frame.payload.get("spec_hash") != self.spec_hash:
+            reason = ("spec hash mismatch: the silo was built from a "
+                      "different configuration than this server")
+        if reason is not None:
+            try:
+                conn.send("refuse", {"reason": reason})
+            except TransportError:
+                pass
+            conn.close()
+            return None
+        old = self.conns.pop(silo, None)
+        if old is not None:
+            old.close()
+        try:
+            conn.send("welcome", {
+                "round": self.sim.rounds_completed,
+                "rounds": self.sim.config.rounds,
+                "n_silos": self.sim.fed.n_silos,
+            })
+        except TransportError:
+            conn.close()
+            return None
+        self.conns[silo] = conn
+        return silo
+
+    def _await_roster(self) -> None:
+        """Wait (up to ``join_timeout``) for the full roster to connect."""
+        assert self.listener is not None
+        deadline = time.monotonic() + self.net.join_timeout
+        while len(self.conns) < self.sim.fed.n_silos:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self.listener.settimeout(remaining)
+            try:
+                raw, _ = self.listener.accept()
+            except socket.timeout:
+                break
+            except OSError:
+                break
+            self._handshake(raw)
+        if len(self.conns) < self.net.min_quorum:
+            raise TransportError(
+                f"only {len(self.conns)} of {self.sim.fed.n_silos} silo(s) "
+                f"joined within {self.net.join_timeout:.1f}s, below "
+                f"net.min_quorum={self.net.min_quorum}")
+
+    def _drain_rejoins(self) -> None:
+        """Accept any pending (re)connections without blocking."""
+        assert self.listener is not None
+        self.listener.settimeout(0)
+        while True:
+            try:
+                raw, _ = self.listener.accept()
+            except (BlockingIOError, socket.timeout, OSError):
+                break
+            self._handshake(raw)
+
+    def _drop(self, silo: int) -> None:
+        conn = self.conns.pop(silo, None)
+        if conn is not None:
+            conn.close()
+
+    def _broadcast(self, msg_type: str, payload: dict) -> None:
+        for s in list(self.conns):
+            try:
+                self.conns[s].send(msg_type, payload)
+            except TransportError:
+                self._drop(s)
+
+    # -- the round loop ------------------------------------------------------
+
+    def _ping_phase(self, round_no: int) -> np.ndarray:
+        """Liveness sweep: who answers the ping (and says ready) in time.
+
+        A deadline miss keeps the connection (the late PONG is drained as
+        a stale frame later); a transport/wire error drops it -- the silo
+        reconnects through the listener when it recovers.
+        """
+        alive = np.zeros(self.sim.fed.n_silos, dtype=bool)
+        for s in list(self.conns):
+            try:
+                self.conns[s].send("ping", {"round": round_no})
+            except TransportError:
+                self._drop(s)
+        for s in list(self.conns):
+            try:
+                frame = self.conns[s].recv_matching(
+                    "pong", round_no, self.net.ping_timeout)
+            except DeadlineExceeded:
+                continue
+            except (TransportError, WireError):
+                self._drop(s)
+                continue
+            alive[s] = bool(frame.payload.get("ready", True))
+        return alive
+
+    def serve(self):
+        """Run the remaining rounds; returns the TrainingHistory.
+
+        Raises :class:`repro.core.weighting.QuorumError` when live silos
+        fall below ``net.min_quorum`` (after broadcasting an abort), and
+        propagates :class:`QuorumError` from the masked backend's
+        ``min_survivors`` check the same way.
+        """
+        self.bind()
+        sim = self.sim
+        method = sim.method
+        sim_spec = self.spec.sim
+        every = sim_spec.checkpoint_every or max(1, sim.config.rounds // 4)
+        try:
+            self._await_roster()
+            while not sim.done:
+                t = sim.rounds_completed
+                self._drain_rejoins()
+                alive = self._ping_phase(t)
+                while True:
+                    live = int(alive.sum())
+                    if live < self.net.min_quorum:
+                        reason = (
+                            f"round {t}: {live} silo(s) alive, below "
+                            f"net.min_quorum={self.net.min_quorum}; "
+                            "aborting the run")
+                        self._broadcast("abort",
+                                        {"round": t, "reason": reason})
+                        raise QuorumError(reason)
+                    snapshot = sim.state_dict()
+                    method.contribution_executor = _RemoteExecutor(self, t)
+                    sim.external_dropout = alive.copy()
+                    try:
+                        sim.step()
+                        break
+                    except SiloFailure as failure:
+                        # Timeout/transport/bad-reply mid-round: the silo
+                        # becomes an observed dropout, the round restarts
+                        # from the snapshot without it.
+                        alive[failure.silo] = False
+                        self._drop(failure.silo)
+                        sim.load_state(snapshot)
+                    finally:
+                        method.contribution_executor = None
+                        sim.external_dropout = None
+                if sim_spec.checkpoint_dir and (
+                        sim.rounds_completed % every == 0 or sim.done):
+                    from repro.sim.checkpoint import save_checkpoint
+
+                    save_checkpoint(sim_spec.checkpoint_dir, sim,
+                                    extra=checkpoint_extra(self.spec))
+            self._broadcast("done", {"round": sim.rounds_completed})
+            return sim.history
+        finally:
+            self.close()

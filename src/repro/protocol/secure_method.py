@@ -88,7 +88,10 @@ class SecureUldpAvg(UldpAvg):
         protocol_workers: int | None = None,
         compression: CompressionSpec | None = None,
         mask_bits: int = 256,
+        min_survivors: int = 1,
     ):
+        if min_survivors < 1:
+            raise ValueError("min_survivors must be at least 1")
         if crypto_backend == "masked" and private_subsampling_slots is not None:
             raise ValueError(
                 "the OT sub-sampling extension is Paillier-specific "
@@ -126,6 +129,12 @@ class SecureUldpAvg(UldpAvg):
         self.crypto_backend = crypto_backend
         self.protocol_workers = protocol_workers
         self.mask_bits = mask_bits
+        #: Masked-backend survivor quorum: a dropout round with fewer than
+        #: this many surviving silos raises
+        #: :class:`repro.core.weighting.QuorumError` instead of
+        #: aggregating (see docs/protocol_performance.md on why a server
+        #: faking dropouts to shrink the survivor set is worth refusing).
+        self.min_survivors = min_survivors
         self.subsampler: PrivateSubsampler | None = None
         self.protocol: PrivateWeightingProtocol | None = None
         self.masked_protocol: MaskedAggregationProtocol | None = None
@@ -294,6 +303,16 @@ class SecureUldpAvg(UldpAvg):
         assert proto is not None
         active = self._active_silo_mask
         fed, _, _ = self._require_prepared()
+        survivors = int(active.sum()) if active is not None else len(contributions)
+        if survivors < self.min_survivors:
+            from repro.core.weighting import QuorumError
+
+            raise QuorumError(
+                f"masked secure aggregation has {survivors} surviving "
+                f"silo(s) this round, below min_survivors="
+                f"{self.min_survivors}; refusing to aggregate over so few "
+                "silos (see docs/protocol_performance.md)"
+            )
         numerators = weight_numerators(round_weights, self._histogram, proto.c_lcm)
         max_abs = max(
             (float(np.abs(v).max(initial=0.0)) for v in noises),

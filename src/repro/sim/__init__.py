@@ -22,7 +22,7 @@ survive:
   ``python -m repro simulate``.
 """
 
-from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.sim.participation import (
     BandwidthModel,
     ChurnProcess,
@@ -50,6 +50,7 @@ from repro.sim.scenarios import (
 )
 
 __all__ = [
+    "CheckpointError",
     "load_checkpoint",
     "save_checkpoint",
     "BandwidthModel",

@@ -14,6 +14,11 @@ Saves are crash-safe: the arrays file lands first under a fresh name, then
 files are pruned.  A kill at any point leaves the directory resuming to
 either the previous or the new snapshot, never a torn mix.
 
+Loads are integrity-checked: ``state.json`` records a SHA-256 digest per
+array, and :func:`load_checkpoint` raises :class:`CheckpointError` (a
+``ValueError``) on a truncated/corrupt file or a digest mismatch instead
+of resuming from silently wrong state.
+
 Scalars survive the JSON round-trip exactly (Python emits shortest-repr
 floats, which parse back to the identical IEEE-754 value; RNG states are
 arbitrary-precision ints), arrays survive npz exactly, so a simulation
@@ -24,8 +29,10 @@ history, and accountant state bit for bit -- the property
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -33,6 +40,21 @@ import numpy as np
 STATE_FILE = "state.json"
 _ARRAYS_PATTERN = "arrays-{round:08d}.npz"
 _SCHEMA = "uldp-fl-checkpoint/v1"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint directory is unreadable, truncated, or corrupt.
+
+    Raised instead of letting ``zipfile``/``json`` internals leak out, so
+    a resume against a half-written or bit-rotted checkpoint fails with a
+    clear message rather than a confusing traceback (or, worse, silently
+    wrong arrays -- every array is digest-verified against ``state.json``).
+    """
+
+
+def _digest(arr: np.ndarray) -> str:
+    """SHA-256 of an array's canonical (contiguous) byte content."""
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
 
 
 def _strip_arrays(obj, arrays: dict):
@@ -86,6 +108,10 @@ def save_checkpoint(path: str | Path, simulator, extra: dict | None = None) -> P
         "schema": _SCHEMA,
         "extra": extra,
         "arrays_file": arrays_file,
+        # Integrity manifest: load_checkpoint refuses an arrays file whose
+        # content does not hash back to these (truncation, bit rot, or a
+        # mismatched state.json/npz pair).
+        "array_digests": {key: _digest(arr) for key, arr in arrays.items()},
         "state": state,
     }
     # Crash-safe ordering (a kill mid-snapshot is the module's threat
@@ -113,9 +139,37 @@ def load_checkpoint(path: str | Path) -> tuple[dict, dict | None]:
     saved under.
     """
     path = Path(path)
-    meta = json.loads((path / STATE_FILE).read_text())
+    try:
+        meta = json.loads((path / STATE_FILE).read_text())
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint at {path} is unreadable: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint at {path} has a truncated or corrupt "
+            f"{STATE_FILE}: {exc}") from exc
     if meta.get("schema") != _SCHEMA:
         raise ValueError(f"unknown checkpoint schema: {meta.get('schema')!r}")
-    with np.load(path / meta["arrays_file"]) as npz:
-        arrays = {k: npz[k] for k in npz.files}
+    arrays_file = meta.get("arrays_file", "")
+    try:
+        with np.load(path / arrays_file) as npz:
+            arrays = {k: np.array(npz[k]) for k in npz.files}
+    except (OSError, EOFError, KeyError, ValueError,
+            zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"checkpoint at {path} has a truncated or corrupt arrays file "
+            f"{arrays_file!r}: {exc}") from exc
+    # Digest verification (older checkpoints without a manifest load as
+    # before -- the npz CRCs are then the only integrity check).
+    digests = meta.get("array_digests")
+    if digests is not None:
+        if set(digests) != set(arrays):
+            raise CheckpointError(
+                f"checkpoint at {path} is corrupt: {arrays_file!r} does "
+                "not contain the arrays state.json references")
+        for key, arr in arrays.items():
+            if _digest(arr) != digests[key]:
+                raise CheckpointError(
+                    f"checkpoint at {path} is corrupt: array {key!r} in "
+                    f"{arrays_file!r} fails its recorded SHA-256 digest")
     return _restore_arrays(meta["state"], arrays), meta.get("extra")

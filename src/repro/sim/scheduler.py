@@ -164,6 +164,12 @@ class FederationSimulator:
                 )
         #: Virtual wall-clock (abstract latency units).
         self.clock = 0.0
+        #: Optional externally-observed silo liveness (boolean, one entry
+        #: per silo) ANDed into each sync-like round's dropout draw.  The
+        #: networked runtime (:mod:`repro.net`) writes real timeout-detected
+        #: dropouts here before each step; None (the default) leaves the
+        #: simulated dynamics untouched.  Transient -- not checkpointed.
+        self.external_dropout: np.ndarray | None = None
         #: Carryover gain each silo would re-enter with (1 = fully caught up).
         self.carry_gain = np.ones(fed.n_silos)
         #: Structured per-release log (policy decisions, renorm, roster).
@@ -236,6 +242,11 @@ class FederationSimulator:
         if config.churn is not None:
             config.churn.step(self.population, self.sim_rng)
         up = config.dropout.draw(t, self.fed.n_silos, self.sim_rng)
+        observed_down = 0
+        if self.external_dropout is not None:
+            observed = np.asarray(self.external_dropout, dtype=bool)
+            up = up & observed
+            observed_down = int((~observed).sum())
         latency = config.latency.draw(t, self.fed.n_silos, self.sim_rng)
         payload_bytes = None
         if config.bandwidth is not None:
@@ -278,6 +289,10 @@ class FederationSimulator:
         }
         if payload_bytes is not None:
             entry["payload_bytes"] = int(payload_bytes)
+        if observed_down:
+            # Only recorded when a real (observed) dropout occurred, so an
+            # ideal-network serve keeps a log bit-identical to in-process.
+            entry["silos_observed_down"] = observed_down
         self.round_log.append(entry)
 
     # -- buffered-async ------------------------------------------------------

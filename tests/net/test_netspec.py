@@ -1,0 +1,93 @@
+"""[net] spec-section tests: validation messages and hash-stable round-trips.
+
+The handshake rejects a silo whose spec hash differs from the server's,
+so the [net] section (fault plan included) must survive every
+serialisation path -- dict, TOML file, checkpoint JSON -- with an
+identical hash.
+"""
+
+import pytest
+
+from repro.api import RunSpec
+from repro.api.spec import SpecError, spec_hash
+
+
+def net_tree(**net):
+    base = {
+        "name": "net-spec-test",
+        "seed": 3,
+        "sim": {"scenario": "ideal-sync", "scale": "smoke"},
+        "net": net,
+    }
+    return base
+
+
+class TestValidation:
+    def test_net_requires_sim(self):
+        with pytest.raises(SpecError, match=r"only meaningful alongside \[sim\]"):
+            RunSpec.from_dict({"seed": 0, "net": {"port": 0}})
+
+    def test_defaults_validate(self):
+        spec = RunSpec.from_dict(net_tree())
+        assert spec.net.host == "127.0.0.1"
+        assert spec.net.min_quorum == 1
+        assert spec.net.faults == {}
+
+    @pytest.mark.parametrize("field,value,msg", [
+        ("port", 70000, "port must lie"),
+        ("round_timeout", 0, "round_timeout must be positive"),
+        ("min_quorum", 0, "min_quorum must be at least 1"),
+        ("backoff_jitter", 1.5, "backoff_jitter must lie"),
+        ("connect_retries", -1, "connect_retries must be non-negative"),
+    ])
+    def test_bad_values_named_in_the_error(self, field, value, msg):
+        with pytest.raises(SpecError, match=msg):
+            RunSpec.from_dict(net_tree(**{field: value}))
+
+    def test_fault_tree_validated_at_spec_time(self):
+        # A typo'd fault plan fails at validate-config time, not minutes
+        # into a chaos run, and keeps the events[i] locator.
+        with pytest.raises(SpecError, match=r"faults: events\[0\]"):
+            RunSpec.from_dict(net_tree(
+                faults={"events": [{"silo": 0, "action": "melt",
+                                    "round": 1}]}
+            ))
+
+    def test_unknown_net_key_rejected(self):
+        with pytest.raises(SpecError, match="quorum_min"):
+            RunSpec.from_dict(net_tree(quorum_min=2))
+
+
+class TestRoundTrips:
+    FAULTS = {
+        "events": [
+            {"silo": 2, "action": "timeout", "round": 1, "value": 3.0},
+            {"silo": 0, "action": "partition", "start": 0, "stop": 2,
+             "value": 0.5},
+        ],
+        "drop_rate": 0.1,
+        "seed": 7,
+    }
+
+    def test_dict_round_trip_is_hash_identical(self):
+        spec = RunSpec.from_dict(net_tree(min_quorum=2, faults=self.FAULTS))
+        again = RunSpec.from_dict(spec.to_dict())
+        assert spec_hash(again) == spec_hash(spec)
+        assert again.net == spec.net
+
+    def test_toml_round_trip_is_hash_identical(self, tmp_path):
+        spec = RunSpec.from_dict(net_tree(
+            port=9000, round_timeout=2.0, min_quorum=2, faults=self.FAULTS
+        ))
+        path = tmp_path / "net.toml"
+        path.write_text(spec.to_toml())
+        again = RunSpec.from_file(path)
+        assert spec_hash(again) == spec_hash(spec)
+        assert again.net.faults == self.FAULTS
+
+    def test_net_section_changes_the_hash(self):
+        # The handshake leans on this: a server and silo disagreeing
+        # about timeouts or fault plans must not pass as "same spec".
+        base = RunSpec.from_dict(net_tree())
+        tweaked = RunSpec.from_dict(net_tree(round_timeout=1.0))
+        assert spec_hash(base) != spec_hash(tweaked)

@@ -1,0 +1,158 @@
+"""Wire-protocol unit tests: framing, integrity, and failure surfaces.
+
+Every test runs over a real ``socketpair`` so the byte stream crosses an
+actual kernel buffer -- the same code path TCP traffic takes, minus the
+network.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net.wire import (
+    MAGIC,
+    ChecksumError,
+    ConnectionClosed,
+    WireError,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def roundtrip(pair, msg_type, payload=None, arrays=None):
+    a, b = pair
+    # Send from a thread: a frame larger than the socketpair buffer would
+    # otherwise deadlock sendall against our own recv.
+    sender = threading.Thread(
+        target=send_frame, args=(a, msg_type, payload, arrays)
+    )
+    sender.start()
+    frame = recv_frame(b)
+    sender.join()
+    return frame
+
+
+class TestRoundTrip:
+    def test_payload_and_arrays_survive(self, pair):
+        arrays = {
+            "params": np.linspace(-1.0, 1.0, 4130),
+            "mask": np.array([[True, False], [False, True]]),
+            "counts": np.arange(12, dtype=np.int32).reshape(3, 4),
+        }
+        payload = {"round": 3, "noise_std": 0.25, "users": [0, 5, 7]}
+        frame = roundtrip(pair, "update", payload, arrays)
+        assert frame.type == "update"
+        assert frame.payload == payload
+        assert set(frame.arrays) == set(arrays)
+        for name, arr in arrays.items():
+            assert frame.arrays[name].dtype == arr.dtype
+            assert np.array_equal(frame.arrays[name], arr)
+
+    def test_float_bits_exact(self, pair):
+        # The oracle property rests on this: raw-byte transport, no text
+        # round-trip, so every IEEE-754 bit pattern survives.
+        arr = np.frombuffer(
+            np.random.default_rng(0).bytes(8 * 64), dtype=np.float64
+        ).copy()
+        frame = roundtrip(pair, "update", arrays={"x": arr})
+        assert frame.arrays["x"].tobytes() == arr.tobytes()
+
+    def test_empty_frame(self, pair):
+        frame = roundtrip(pair, "ping")
+        assert frame.type == "ping"
+        assert frame.payload == {}
+        assert frame.arrays == {}
+
+    def test_back_to_back_frames(self, pair):
+        a, b = pair
+        send_frame(a, "ping", {"round": 0})
+        send_frame(a, "ping", {"round": 1})
+        assert recv_frame(b).payload["round"] == 0
+        assert recv_frame(b).payload["round"] == 1
+
+    def test_received_array_is_writable(self, pair):
+        # recv_frame must hand back an owned copy, not a frombuffer view.
+        frame = roundtrip(pair, "compute", arrays={"p": np.zeros(4)})
+        frame.arrays["p"][0] = 1.0  # would raise on a read-only view
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(WireError, match="object dtype"):
+            pack_frame("update", arrays={"bad": np.array([object()])})
+
+
+class TestCorruption:
+    def test_flipped_blob_byte_fails_checksum(self, pair):
+        a, b = pair
+        data = pack_frame("update", {"round": 1}, {"x": np.arange(8.0)})
+        data = data[:-1] + bytes([data[-1] ^ 0xFF])
+        a.sendall(data)
+        with pytest.raises(ChecksumError):
+            recv_frame(b)
+
+    def test_flipped_header_byte_fails_checksum(self, pair):
+        a, b = pair
+        data = pack_frame("update", {"round": 1})
+        # Byte 8 sits inside the JSON header (after magic + hlen).
+        data = data[:8] + bytes([data[8] ^ 0xFF]) + data[9:]
+        a.sendall(data)
+        with pytest.raises(ChecksumError):
+            recv_frame(b)
+
+    def test_bad_magic_rejected(self, pair):
+        a, b = pair
+        data = pack_frame("ping")
+        a.sendall(b"HTTP" + data[4:])
+        with pytest.raises(WireError, match="magic"):
+            recv_frame(b)
+
+    def test_wrong_wire_version_rejected(self, pair):
+        import json
+        import struct
+        import zlib
+
+        header = json.dumps(
+            {"v": 99, "type": "ping", "payload": {}, "blobs": []}
+        ).encode()
+        a, b = pair
+        a.sendall(
+            MAGIC + struct.pack(">I", len(header)) + header
+            + struct.pack(">I", zlib.crc32(header))
+        )
+        with pytest.raises(WireError, match="wire version"):
+            recv_frame(b)
+
+    def test_oversized_frame_rejected_before_allocation(self, pair):
+        import struct
+
+        a, b = pair
+        a.sendall(MAGIC + struct.pack(">I", 0xFFFFFFFF))
+        with pytest.raises(WireError, match="wire limit"):
+            recv_frame(b)
+
+
+class TestConnectionClose:
+    def test_clean_close_between_frames(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(b)
+
+    def test_close_mid_frame_is_not_clean(self, pair):
+        a, b = pair
+        data = pack_frame("update", {"round": 2}, {"x": np.arange(16.0)})
+        a.sendall(data[: len(data) // 2])
+        a.close()
+        with pytest.raises(WireError, match="mid-frame") as err:
+            recv_frame(b)
+        assert not isinstance(err.value, ConnectionClosed)

@@ -163,6 +163,36 @@ class TestDropoutEquivalence:
         assert hist.comm[0].uplink_bytes == 2 * dim * per_coord
 
 
+class TestMinSurvivorsQuorum:
+    """``min_survivors`` bounds the false-dropout attack surface: a round
+    whose survivor set is smaller aborts with QuorumError instead of
+    aggregating (docs/protocol_performance.md)."""
+
+    def test_round_below_quorum_aborts(self, fed):
+        method = masked(min_survivors=2)
+        trainer = Trainer(fed, method, rounds=1, model=make_model(), seed=0)
+        from repro.core.weighting import QuorumError
+
+        with pytest.raises(QuorumError, match="below min_survivors=2"):
+            trainer.step(
+                participation=RoundParticipation(
+                    silo_mask=np.array([False, False, True])
+                )
+            )
+
+    def test_round_at_quorum_still_aggregates(self, fed):
+        parts = [RoundParticipation(silo_mask=np.array([True, False, True]))]
+        plain_params, _ = run(plain(), fed, seed=5, participations=parts)
+        quorum_params, _ = run(
+            masked(min_survivors=2), fed, seed=5, participations=parts
+        )
+        np.testing.assert_allclose(quorum_params, plain_params, atol=1e-6)
+
+    def test_min_survivors_validated(self):
+        with pytest.raises(ValueError, match="min_survivors"):
+            masked(min_survivors=0)
+
+
 class TestPaillierStillRejectsDropout:
     """Satellite regression: the Paillier backends must keep refusing
     partial participation, and the error must route users to ``masked``."""

@@ -90,3 +90,45 @@ class TestMaskedKillAndResume:
         plain = build_scenario("flaky-silos", scale="smoke", seed=2)
         with pytest.raises(ValueError, match="secure-protocol state"):
             plain.load_state(state)
+
+    def test_wrong_method_refusal_names_the_likely_cause(self, tmp_path):
+        # The refusal must point at the actionable mistake (an edited
+        # scenario/method), not just state that loading failed.
+        spec = masked_spec(seed=2)
+        sim = build_simulator(spec)
+        sim.run(stop_after=1)
+        save_checkpoint(tmp_path, sim, extra=checkpoint_extra(spec))
+        from repro.sim import load_checkpoint
+
+        state, _ = load_checkpoint(tmp_path)
+        plain = build_scenario("flaky-silos", scale="smoke", seed=2)
+        with pytest.raises(
+            ValueError,
+            match="rebuilt method cannot restore it; was the scenario's "
+            "method changed",
+        ):
+            plain.load_state(state)
+
+    def test_resume_with_wrong_crypto_backend_is_refused(self, tmp_path):
+        # Masked-protocol state into a Paillier-backend rebuild: the method
+        # *has* the restore hook, but the backends disagree -- the refusal
+        # must name the crypto section, not the method.
+        spec = masked_spec(seed=3)
+        sim = build_simulator(spec)
+        sim.run(stop_after=1)
+        save_checkpoint(tmp_path, sim, extra=checkpoint_extra(spec))
+        from repro.sim import load_checkpoint
+
+        state, _ = load_checkpoint(tmp_path)
+        paillier_tree = spec.to_dict()
+        paillier_tree["crypto"] = {"backend": "fast", "paillier_bits": 256}
+        # ideal-sync: the Paillier path refuses dropout rounds outright,
+        # which would mask the error under test on flaky-silos.
+        paillier_tree["sim"]["scenario"] = "ideal-sync"
+        paillier = build_simulator(RunSpec.from_dict(paillier_tree))
+        with pytest.raises(
+            ValueError,
+            match="disagree about the crypto backend; was the spec's "
+            "crypto section changed",
+        ):
+            paillier.load_state(state)
