@@ -8,6 +8,9 @@
 #   make bench-compress update compression: uplink bytes vs utility (fig05)
 #   make sweep-smoke    validate every committed spec file, then one smoke
 #                       `repro run --config` and one 2-point `repro sweep`
+#   make trace-smoke    one traced networked round trip: serve net_sim.toml
+#                       with [obs] on (faults cleared), then summarise the
+#                       resulting trace.jsonl
 #   make docs-check     doctest the docs' worked examples + docstring coverage
 #
 # bench-engine, bench-protocol, bench-sim, and bench-compress also refresh
@@ -18,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress sweep-smoke docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress sweep-smoke trace-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +53,19 @@ sweep-smoke:
 		--set "sweep.method.sigma=[0.5,5.0]" \
 		--set rounds=1 --set dataset.users=8 --set dataset.silos=2 \
 		--set dataset.records=120 --set method.local_epochs=1
+
+# A traced networked run end to end: server + spawned silos on an ideal
+# network ([net.faults] cleared) with tracing enabled, then the trace
+# summary must render (exit 0).  Artifacts land in trace-smoke/.
+trace-smoke:
+	rm -rf trace-smoke && mkdir -p trace-smoke
+	$(PYTHON) -m repro serve --config examples/specs/net_sim.toml \
+		--spawn-silos --log-level info \
+		--set "net.faults={}" \
+		--set obs.enabled=true \
+		--set obs.trace_path=trace-smoke/trace.jsonl \
+		--set sim.checkpoint_dir=trace-smoke/ckpt
+	$(PYTHON) -m repro trace summary trace-smoke/trace.jsonl
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py

@@ -21,22 +21,30 @@ from repro.core import Trainer
 #: `BENCH_protocol.json`, `BENCH_sim.json`).
 RESULTS_DIR = Path(__file__).resolve().parent.parent
 
+#: Version tag stamped into every BENCH_*.json (bump on layout changes).
+BENCH_SCHEMA = "uldp-fl-bench/v1"
+
 
 def write_bench_json(filename: str, updates: dict) -> Path:
     """Merge ``updates`` into the machine-readable results file.
 
     Each bench test contributes its own top-level keys, so partial runs
-    (one test, one figure) refresh only their section.
+    (one test, one figure) refresh only their section.  Every write
+    (re)stamps the schema tag and the host that produced the numbers, so
+    a BENCH file is never compared across machines by accident.
     """
     path = RESULTS_DIR / filename
     data = json.loads(path.read_text()) if path.exists() else {}
     data.update(updates)
+    data["schema"] = BENCH_SCHEMA
+    data["host"] = host_info()
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 
 
 def host_info() -> dict:
     """Host context recorded alongside throughput numbers (cores, platform)."""
+    import datetime
     import os
     import platform
 
@@ -44,6 +52,8 @@ def host_info() -> dict:
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
     }
 
 

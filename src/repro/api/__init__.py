@@ -32,6 +32,7 @@ _LAZY_EXPORTS = {
     "DatasetSpec": "repro.api.spec",
     "MethodSpec": "repro.api.spec",
     "ModelSpec": "repro.api.spec",
+    "ObsSpec": "repro.api.spec",
     "PrivacySpec": "repro.api.spec",
     "RunSpec": "repro.api.spec",
     "SimSpec": "repro.api.spec",
@@ -49,6 +50,7 @@ _LAZY_EXPORTS = {
     "build_simulator": "repro.api.runner",
     "build_trainer": "repro.api.runner",
     "checkpoint_extra": "repro.api.runner",
+    "obs_session": "repro.api.runner",
     "run": "repro.api.runner",
     "verify_checkpoint_spec": "repro.api.runner",
     "SweepResult": "repro.api.sweep",

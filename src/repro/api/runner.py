@@ -18,7 +18,9 @@ spec (:func:`verify_checkpoint_spec`).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -175,6 +177,58 @@ def verify_checkpoint_spec(extra: dict) -> RunSpec | None:
     return spec
 
 
+def resolve_trace_path(spec: RunSpec) -> Path:
+    """Where this spec's ``trace.jsonl`` goes: the explicit
+    ``obs.trace_path`` if set, else next to checkpoints, else the
+    working directory."""
+    if spec.obs is not None and spec.obs.trace_path:
+        return Path(spec.obs.trace_path)
+    if spec.sim is not None and spec.sim.checkpoint_dir:
+        return Path(spec.sim.checkpoint_dir) / "trace.jsonl"
+    return Path("trace.jsonl")
+
+
+@contextlib.contextmanager
+def obs_session(spec: RunSpec, mode: str | None = None):
+    """Install the spec's observability for the duration of one run.
+
+    With ``[obs]`` absent or disabled this yields immediately and
+    changes nothing (the process keeps the no-op recorder).  Enabled, it
+    builds a :class:`repro.obs.JsonlTraceRecorder` at
+    :func:`resolve_trace_path`, installs it process-wide, opens the root
+    ``run`` span (name, spec hash, mode), and -- when
+    ``obs.metrics_port`` is set -- serves ``GET /metrics`` on that side
+    port.  Everything is torn down (recorder restored + flushed, httpd
+    stopped) on exit, error or not.
+    """
+    if spec.obs is None or not spec.obs.enabled:
+        yield None
+        return
+    from repro.obs import JsonlTraceRecorder, use_recorder
+    from repro.obs.httpd import start_metrics_server
+
+    recorder = JsonlTraceRecorder(
+        resolve_trace_path(spec),
+        sample_rate=spec.obs.sample_rate,
+        run_id=spec.name,
+    )
+    metrics_server = None
+    if spec.obs.metrics_port is not None:
+        metrics_server = start_metrics_server(spec.obs.metrics_port)
+    try:
+        with use_recorder(recorder):
+            with recorder.span(
+                "run", kind="run", spec_name=spec.name,
+                spec_hash=spec.hash(),
+                mode=mode or ("simulate" if spec.is_simulation else "train"),
+            ):
+                yield recorder
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        recorder.close()
+
+
 def run(spec: RunSpec, *, dataset=None) -> RunResult:
     """Execute one spec end to end; the single programmatic entrypoint.
 
@@ -189,9 +243,10 @@ def run(spec: RunSpec, *, dataset=None) -> RunResult:
             "spec declares sweep axes; use repro.api.run_sweep() "
             "(or the `repro sweep` command) to expand the grid"
         )
-    if spec.is_simulation:
-        return _run_simulation(spec)
-    return _run_training(spec, fed=dataset)
+    with obs_session(spec):
+        if spec.is_simulation:
+            return _run_simulation(spec)
+        return _run_training(spec, fed=dataset)
 
 
 def _run_training(spec: RunSpec, fed=None) -> RunResult:

@@ -273,6 +273,39 @@ class NetSpec:
             raise SpecError(f"faults: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class ObsSpec:
+    """Observability wiring: tracing spans and the live metrics endpoint.
+
+    Deliberately **excluded from the canonical spec hash** -- turning
+    telemetry on or off never changes a run's identity, so traced runs
+    resume untraced checkpoints (and vice versa) and networked
+    server/silo pairs may disagree about ``[obs]`` without failing the
+    spec-hash handshake.  With ``enabled = False`` (the default) the
+    whole subsystem is a no-op and runs are bit-identical to builds
+    without it.
+
+    ``trace_path = None`` places ``trace.jsonl`` next to checkpoints
+    (``sim.checkpoint_dir``) when there are any, else in the working
+    directory.  ``sample_rate`` keeps only a deterministic subset of
+    round spans (see :mod:`repro.obs.trace`).  ``metrics_port`` serves
+    ``GET /metrics`` (Prometheus text) on a side port; 0 = OS-assigned.
+    """
+
+    enabled: bool = False
+    trace_path: str | None = None
+    sample_rate: float = 1.0
+    metrics_port: int | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.enabled, bool):
+            raise SpecError("enabled must be a boolean")
+        if not 0 < self.sample_rate <= 1:
+            raise SpecError("sample_rate must lie in (0, 1]")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise SpecError("metrics_port must lie in [0, 65535] (or omitted)")
+
+
 # -- the root -----------------------------------------------------------------
 
 #: Section name -> dataclass of the subtree.
@@ -285,6 +318,7 @@ _SECTIONS: dict[str, type] = {
     "sim": SimSpec,
     "crypto": CryptoSpec,
     "net": NetSpec,
+    "obs": ObsSpec,
 }
 
 #: Scalar keys living directly on the root.
@@ -311,6 +345,7 @@ class RunSpec:
     sim: SimSpec | None = None
     crypto: CryptoSpec | None = None
     net: NetSpec | None = None
+    obs: ObsSpec | None = None
     #: Sweep axes: dotted config path -> list of values (one grid).
     sweep: dict = field(default_factory=dict)
 
@@ -401,6 +436,8 @@ class RunSpec:
             data["crypto"] = dataclasses.asdict(self.crypto)
         if self.net is not None:
             data["net"] = dataclasses.asdict(self.net)
+        if self.obs is not None:
+            data["obs"] = dataclasses.asdict(self.obs)
         if self.sweep:
             data["sweep"] = {p: list(v) for p, v in self.sweep.items()}
         return data
@@ -462,11 +499,21 @@ class RunSpec:
     # -- identity -------------------------------------------------------------
 
     def canonical_json(self) -> str:
-        """The canonical (sorted, compact) JSON the spec hash is taken over."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """The canonical (sorted, compact) JSON the spec hash is taken over.
+
+        The ``obs`` section is excluded: observability never changes
+        what a run computes, so it must not change the run's identity
+        (see :class:`ObsSpec`).
+        """
+        data = self.to_dict()
+        data.pop("obs", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def hash(self) -> str:
-        """Canonical content hash (first 16 hex chars of SHA-256)."""
+        """Canonical content hash (first 16 hex chars of SHA-256).
+
+        Invariant under the ``obs`` section -- see :meth:`canonical_json`.
+        """
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
 
     # -- derived specs --------------------------------------------------------

@@ -24,6 +24,8 @@ Plus the analytic utilities:
                    target epsilon.
 - ``datasets``  -- list the registered benchmark federations.
 - ``figure``    -- regenerate a registered paper experiment.
+- ``trace``     -- summarise a ``trace.jsonl`` written by an
+                   ``[obs]``-enabled run (``trace summary <file>``).
 
 Examples::
 
@@ -58,6 +60,21 @@ from repro.api.spec import (
 def _fail(exc: BaseException) -> int:
     print(f"error: {exc}", file=sys.stderr)
     return 2
+
+
+def _configure_logging(level_name: str) -> None:
+    """Route stdlib logging to stderr at the requested level.
+
+    Result lines (port banners, histories, tables) stay on stdout so
+    scripts that parse them keep working at any log level.
+    """
+    import logging
+
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        stream=sys.stderr,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
 
 
 # -- spec construction from legacy flags (the shims) --------------------------
@@ -256,6 +273,7 @@ def cmd_simulate(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run a simulate-mode [net] spec as the federation server."""
+    _configure_logging(args.log_level)
     from repro.api.runner import validate_spec_names
     from repro.core.weighting import QuorumError
     from repro.net.server import FederationServer
@@ -311,7 +329,7 @@ def cmd_serve(args) -> int:
             procs.append(subprocess.Popen(
                 [sys.executable, "-m", "repro", "silo",
                  "--config", spec_file, "--silo-id", str(s),
-                 "--port", str(port)]
+                 "--port", str(port), "--log-level", args.log_level]
             ))
     try:
         server.serve()
@@ -334,6 +352,7 @@ def cmd_serve(args) -> int:
 
 def cmd_silo(args) -> int:
     """Join a federation server as one silo worker process."""
+    _configure_logging(args.log_level)
     try:
         spec = _spec_from_config_args(args)
         from repro.api.runner import validate_spec_names
@@ -345,6 +364,18 @@ def cmd_silo(args) -> int:
     except (ValueError, UnknownNameError) as exc:
         return _fail(exc)
     return client.run()
+
+
+def cmd_trace(args) -> int:
+    """Summarise a trace.jsonl written by an [obs]-enabled run."""
+    from repro.obs.summary import TraceError, load_trace, render_summary
+
+    try:
+        records = load_trace(args.trace)
+        print(render_summary(records, slowest=args.slowest))
+    except TraceError as exc:
+        return _fail(exc)
+    return 0
 
 
 def _spec_from_config_args(args) -> RunSpec:
@@ -642,6 +673,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "(single-machine runs and smoke tests)")
     serve.add_argument("--output", type=str, default=None,
                        help="write the history JSON here")
+    serve.add_argument("--log-level", type=str, default="warning",
+                       choices=["debug", "info", "warning", "error"],
+                       help="stdlib logging threshold (stderr); spawned "
+                       "silos inherit it")
     serve.set_defaults(func=cmd_serve)
 
     silo = sub.add_parser(
@@ -656,7 +691,23 @@ def build_parser() -> argparse.ArgumentParser:
     silo.add_argument("--port", type=int, default=None,
                       help="server port (overrides net.port; required when "
                       "the spec uses port 0)")
+    silo.add_argument("--log-level", type=str, default="warning",
+                      choices=["debug", "info", "warning", "error"],
+                      help="stdlib logging threshold (stderr)")
     silo.set_defaults(func=cmd_silo)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a trace.jsonl written by an [obs]-enabled run"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tsum = trace_sub.add_parser(
+        "summary",
+        help="per-round/per-phase/per-silo tables, slowest spans, faults",
+    )
+    tsum.add_argument("trace", help="path to the trace.jsonl file")
+    tsum.add_argument("--slowest", type=int, default=5,
+                      help="how many slowest spans to list")
+    tsum.set_defaults(func=cmd_trace)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", nargs="?", default=None,

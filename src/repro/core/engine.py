@@ -39,6 +39,7 @@ from repro.core.metrics import make_batched_loss, make_loss
 from repro.nn.batched import per_group_gradients
 from repro.nn.clip import clip_factor_from_norms, clip_factor_rows, l2_clip_rows
 from repro.nn.model import Sequential, batch_model
+from repro.obs.trace import get_recorder
 
 #: Engine names accepted by :class:`repro.core.methods.base.FLMethod`.
 ENGINES = ("loop", "vectorized")
@@ -260,6 +261,13 @@ def batched_clipped_local_deltas(
         raise ValueError("clip bound must be positive")
     if not jobs:
         return np.zeros((0, params.size)), np.zeros(0)
+    with get_recorder().span(
+        "local_training", kind="phase", jobs=len(jobs), epochs=epochs
+    ):
+        return _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip)
+
+
+def _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip):
     if epochs == 1 and all(job.schedule is None for job in jobs):
         local = model.clone()
         local.set_flat_params(params)
@@ -311,10 +319,13 @@ def batched_gradients(
     """
     if not jobs:
         return np.zeros((0, params.size))
-    local = model.clone()
-    local.set_flat_params(params)
-    loss = make_loss(task, local)
-    x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
-    y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
-    out = _pooled_matrix((len(jobs), params.size))
-    return per_group_gradients(local, loss, x, y, [job.n for job in jobs], out=out)
+    with get_recorder().span("local_gradients", kind="phase", jobs=len(jobs)):
+        local = model.clone()
+        local.set_flat_params(params)
+        loss = make_loss(task, local)
+        x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
+        y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
+        out = _pooled_matrix((len(jobs), params.size))
+        return per_group_gradients(
+            local, loss, x, y, [job.n for job in jobs], out=out
+        )

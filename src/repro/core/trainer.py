@@ -34,6 +34,8 @@ from repro.nn.model import (
     build_logistic,
     build_mnist_cnn,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_recorder
 
 
 def default_model_for(fed: FederatedDataset, rng: np.random.Generator) -> Sequential:
@@ -108,6 +110,10 @@ class TrainingHistory:
     #: Per-round wire traffic (all rounds, evaluated or not); the
     #: compression benches and the bandwidth-constrained scenarios read it.
     comm: list[CommRecord] = field(default_factory=list)
+    #: Cumulative per-phase protocol seconds (merged across workers) as
+    #: reported by the method's ``timing_report()``; empty for methods
+    #: without a :class:`repro.protocol.timing.PhaseTimer`.
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def total_round_seconds(self) -> float:
@@ -231,10 +237,13 @@ class Trainer:
         if self.done:
             raise RuntimeError("all rounds already completed")
         t = self._round
-        start = time.perf_counter()
-        self._params = self.method.round(t, self._params, participation)
-        seconds = time.perf_counter() - start
-        return self._finish_round(seconds, participation)
+        with get_recorder().span("round", kind="round", round=t + 1) as span:
+            start = time.perf_counter()
+            self._params = self.method.round(t, self._params, participation)
+            seconds = time.perf_counter() - start
+            record = self._finish_round(seconds, participation)
+            self._annotate_round_span(span, seconds)
+        return record
 
     def apply_external_round(
         self,
@@ -251,10 +260,15 @@ class Trainer:
         """
         if self.done:
             raise RuntimeError("all rounds already completed")
-        self._params = params
-        if participation_summary is not None:
-            self.method.last_participation = participation_summary
-        return self._finish_round(seconds, participation=None)
+        with get_recorder().span(
+            "round", kind="round", round=self._round + 1, external=True
+        ) as span:
+            self._params = params
+            if participation_summary is not None:
+                self.method.last_participation = participation_summary
+            record = self._finish_round(seconds, participation=None)
+            self._annotate_round_span(span, seconds)
+        return record
 
     def _finish_round(
         self, seconds: float, participation: RoundParticipation | None
@@ -265,12 +279,61 @@ class Trainer:
         self.history.participation.append(self._participation_record(t, participation))
         self.history.comm.append(self._comm_record(t))
         self._round += 1
+        self._record_round_metrics(seconds)
         record = None
         if self._round % self.eval_every == 0 or self._round == self.rounds:
             record = self._evaluate()
         if self.done:
             self.model.set_flat_params(self._params)
         return record
+
+    def _annotate_round_span(self, span, seconds: float) -> None:
+        """Attach the just-finished round's bookkeeping to its trace span."""
+        part = self.history.participation[-1]
+        comm = self.history.comm[-1]
+        span.set(
+            seconds=seconds,
+            silos_seen=part.silos_seen,
+            users_seen=part.users_seen,
+            uplink_bytes=comm.uplink_bytes,
+            downlink_bytes=comm.downlink_bytes,
+        )
+
+    def _record_round_metrics(self, seconds: float) -> None:
+        """Update the process metrics registry with the finished round."""
+        reg = get_registry()
+        reg.counter(
+            "trainer_rounds_total", help="Training rounds completed."
+        ).inc()
+        reg.histogram(
+            "trainer_round_seconds",
+            help="Wall-clock seconds per training round.", unit="seconds",
+        ).observe(seconds)
+        comm = self.history.comm[-1]
+        reg.counter(
+            "comm_uplink_bytes_total",
+            help="Silo -> server payload bytes (TrainingHistory ledger).",
+            unit="bytes",
+        ).inc(comm.uplink_bytes)
+        reg.counter(
+            "comm_downlink_bytes_total",
+            help="Server -> silo broadcast bytes (TrainingHistory ledger).",
+            unit="bytes",
+        ).inc(comm.downlink_bytes)
+        # Cumulative protocol-phase totals (secure methods): into history
+        # for reports and into phase gauges for /metrics.
+        report = getattr(self.method, "timing_report", None)
+        if callable(report):
+            phases = report()
+            if phases:
+                self.history.phase_seconds = dict(phases)
+                gauge = reg.gauge(
+                    "protocol_phase_seconds",
+                    help="Cumulative seconds per secure-protocol phase.",
+                    unit="seconds",
+                )
+                for name, total in phases.items():
+                    gauge.labels(phase=name).set(total)
 
     def _participation_record(
         self, t: int, participation: RoundParticipation | None
@@ -303,19 +366,25 @@ class Trainer:
 
     def _evaluate(self) -> RoundRecord:
         """Evaluate the current params; appends and returns the record."""
-        self.model.set_flat_params(self._params)
-        scores = evaluate_model(self.fed, self.model)
-        name = metric_name(self.fed.task)
-        record = RoundRecord(
-            round=self._round,
-            metric_name=name,
-            metric=scores[name],
-            loss=scores["loss"],
-            epsilon=self.method.epsilon(self.delta)
-            if self.method.is_private
-            else None,
-        )
+        with get_recorder().span("evaluate", kind="phase", round=self._round):
+            self.model.set_flat_params(self._params)
+            scores = evaluate_model(self.fed, self.model)
+            name = metric_name(self.fed.task)
+            record = RoundRecord(
+                round=self._round,
+                metric_name=name,
+                metric=scores[name],
+                loss=scores["loss"],
+                epsilon=self.method.epsilon(self.delta)
+                if self.method.is_private
+                else None,
+            )
         self.history.records.append(record)
+        if record.epsilon is not None:
+            get_registry().gauge(
+                "privacy_epsilon_spent",
+                help="Epsilon spent so far (accountant query at eval).",
+            ).set(record.epsilon)
         return record
 
     def run(self) -> TrainingHistory:

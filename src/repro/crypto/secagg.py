@@ -55,6 +55,7 @@ from repro.crypto.encoding import (
     lcm_up_to,
 )
 from repro.crypto.masking import PairwiseMasker, prg_field_elements
+from repro.obs.metrics import get_registry
 
 #: KDF context for the long-term pair keys (distinct from Protocol 1's
 #: ``"secure-agg"`` so the two backends never share key material).
@@ -298,6 +299,10 @@ class MaskedAggregationProtocol:
                 for s in survivors
             }
             self.view.masked_vectors.append(uploads)
+        get_registry().counter(
+            "secagg_masked_uploads_total",
+            help="Masked silo vectors uploaded to the aggregator.",
+        ).inc(len(uploads))
 
         with self.timer.phase("aggregate"):
             totals = [0] * d
@@ -306,6 +311,10 @@ class MaskedAggregationProtocol:
                     totals[k] = (totals[k] + vec[k]) % m
 
         if dropped:
+            get_registry().counter(
+                "secagg_dropout_recoveries_total",
+                help="Dropped silos whose masks were recovered via reveals.",
+            ).inc(len(dropped))
             with self.timer.phase("dropout_recovery"):
                 for i in survivors:
                     revealed = self.silos[i].reveal_round_keys(dropped, round_no)

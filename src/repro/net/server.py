@@ -37,12 +37,13 @@ See ``docs/networking.md`` for the full walkthrough.
 
 from __future__ import annotations
 
+import logging
 import socket
 import time
 
 import numpy as np
 
-from repro.api.runner import build_simulator, checkpoint_extra
+from repro.api.runner import build_simulator, checkpoint_extra, obs_session
 from repro.api.spec import RunSpec, SpecError
 from repro.core.methods.uldp_avg import _RoundContributions
 from repro.core.weighting import QuorumError
@@ -52,6 +53,10 @@ from repro.net.transport import (
     TransportError,
 )
 from repro.net.wire import WIRE_VERSION, WireError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_recorder
+
+log = logging.getLogger(__name__)
 
 
 class SiloFailure(Exception):
@@ -87,47 +92,77 @@ class _RemoteExecutor:
         pairs: list[tuple[int, int]] = []
         blocks: list[np.ndarray] = []
         noises: list[np.ndarray] = []
-        for s in range(n_silos):
-            if active_mask is not None and not active_mask[s]:
-                dicts.append({})
-                continue
-            conn = server.conns.get(s)
-            if conn is None:
-                raise SiloFailure(s, "connection lost before compute")
-            state = rng.bit_generator.state
-            try:
-                conn.send(
-                    "compute",
-                    {"round": self.round_no, "noise_std": float(noise_std),
-                     "rng_state": state},
-                    arrays={"params": params,
-                            "weights": np.ascontiguousarray(round_weights[s])},
-                )
-                frame = conn.recv_matching(
-                    "update", self.round_no, server.net.round_timeout)
-            except DeadlineExceeded as exc:
-                raise SiloFailure(
-                    s, f"missed the {server.net.round_timeout:.1f}s compute "
-                    f"deadline ({exc})") from exc
-            except (TransportError, WireError) as exc:
-                raise SiloFailure(s, f"transport failure: {exc}") from exc
-            users = frame.payload.get("users")
-            rows = frame.arrays.get("rows")
-            noise = frame.arrays.get("noise")
-            if (not isinstance(users, list) or rows is None or noise is None
-                    or rows.shape != (len(users), size)
-                    or noise.shape != (size,)):
-                raise SiloFailure(s, "malformed update frame")
-            try:
-                rng.bit_generator.state = frame.payload["rng_state"]
-            except (KeyError, TypeError, ValueError) as exc:
-                raise SiloFailure(s, f"bad rng state in update: {exc}") from exc
-            users = [int(u) for u in users]
-            rows = np.ascontiguousarray(rows, dtype=np.float64)
-            dicts.append({u: rows[i] for i, u in enumerate(users)})
-            pairs.extend((s, u) for u in users)
-            blocks.append(rows)
-            noises.append(np.ascontiguousarray(noise, dtype=np.float64))
+        recorder = get_recorder()
+        with recorder.span(
+            "collect_contributions", kind="phase", round=self.round_no + 1
+        ):
+            for s in range(n_silos):
+                if active_mask is not None and not active_mask[s]:
+                    dicts.append({})
+                    continue
+                conn = server.conns.get(s)
+                if conn is None:
+                    raise SiloFailure(s, "connection lost before compute")
+                state = rng.bit_generator.state
+                with recorder.span(
+                    "silo_compute", kind="silo", silo=s,
+                    round=self.round_no + 1,
+                ) as span:
+                    sent0, recv0 = conn.bytes_sent, conn.bytes_received
+                    start = time.perf_counter()
+                    try:
+                        conn.send(
+                            "compute",
+                            {"round": self.round_no,
+                             "noise_std": float(noise_std),
+                             "rng_state": state},
+                            arrays={"params": params,
+                                    "weights": np.ascontiguousarray(
+                                        round_weights[s])},
+                        )
+                        frame = conn.recv_matching(
+                            "update", self.round_no, server.net.round_timeout)
+                    except DeadlineExceeded as exc:
+                        raise SiloFailure(
+                            s, f"missed the {server.net.round_timeout:.1f}s "
+                            f"compute deadline ({exc})") from exc
+                    except (TransportError, WireError) as exc:
+                        raise SiloFailure(
+                            s, f"transport failure: {exc}") from exc
+                    # Margin left on the compute deadline: how close this
+                    # silo came to being dropped for the round.
+                    margin = (server.net.round_timeout
+                              - (time.perf_counter() - start))
+                    span.set(
+                        deadline_margin=margin,
+                        downlink_bytes=conn.bytes_sent - sent0,
+                        uplink_bytes=conn.bytes_received - recv0,
+                    )
+                    get_registry().histogram(
+                        "net_deadline_margin_seconds",
+                        help="Seconds left on the compute deadline when "
+                             "each silo's update arrived.",
+                        unit="seconds",
+                    ).labels(silo=s).observe(margin)
+                    users = frame.payload.get("users")
+                    rows = frame.arrays.get("rows")
+                    noise = frame.arrays.get("noise")
+                    if (not isinstance(users, list) or rows is None
+                            or noise is None
+                            or rows.shape != (len(users), size)
+                            or noise.shape != (size,)):
+                        raise SiloFailure(s, "malformed update frame")
+                    try:
+                        rng.bit_generator.state = frame.payload["rng_state"]
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise SiloFailure(
+                            s, f"bad rng state in update: {exc}") from exc
+                users = [int(u) for u in users]
+                rows = np.ascontiguousarray(rows, dtype=np.float64)
+                dicts.append({u: rows[i] for i, u in enumerate(users)})
+                pairs.extend((s, u) for u in users)
+                blocks.append(rows)
+                noises.append(np.ascontiguousarray(noise, dtype=np.float64))
         if method.engine != "vectorized":
             # The loop engine's _aggregate fallback sums silo-by-silo; hand
             # it plain dicts so the summation order (and hence the floats)
@@ -173,6 +208,15 @@ class FederationServer:
         self.listener: socket.socket | None = None
         self.port: int | None = None
         self.conns: dict[int, MessageSocket] = {}
+        #: Wire bytes spent on round attempts that were aborted and
+        #: retried after a :class:`SiloFailure`.  ``TrainingHistory.comm``
+        #: is rolled back with the snapshot, so aborted-attempt traffic
+        #: lands here (and only here) -- never double-counted in the
+        #: per-round comm ledger.  Uplink is silo->server (server
+        #: receives), downlink server->silo.
+        self.retry_ledger: dict[str, int] = {
+            "attempts": 0, "uplink_bytes": 0, "downlink_bytes": 0,
+        }
 
     # -- connection management -----------------------------------------------
 
@@ -218,6 +262,11 @@ class FederationServer:
             reason = ("spec hash mismatch: the silo was built from a "
                       "different configuration than this server")
         if reason is not None:
+            log.warning("refused a connection (silo=%s): %s", silo, reason)
+            get_registry().counter(
+                "net_handshakes_refused_total",
+                help="Connections refused at the HELLO/WELCOME handshake.",
+            ).inc()
             try:
                 conn.send("refuse", {"reason": reason})
             except TransportError:
@@ -237,6 +286,9 @@ class FederationServer:
             conn.close()
             return None
         self.conns[silo] = conn
+        log.info("silo %d joined (round %d, %d/%d connected)",
+                 silo, self.sim.rounds_completed, len(self.conns),
+                 self.sim.fed.n_silos)
         return silo
 
     def _await_roster(self) -> None:
@@ -294,21 +346,29 @@ class FederationServer:
         reconnects through the listener when it recovers.
         """
         alive = np.zeros(self.sim.fed.n_silos, dtype=bool)
-        for s in list(self.conns):
-            try:
-                self.conns[s].send("ping", {"round": round_no})
-            except TransportError:
-                self._drop(s)
-        for s in list(self.conns):
-            try:
-                frame = self.conns[s].recv_matching(
-                    "pong", round_no, self.net.ping_timeout)
-            except DeadlineExceeded:
-                continue
-            except (TransportError, WireError):
-                self._drop(s)
-                continue
-            alive[s] = bool(frame.payload.get("ready", True))
+        with get_recorder().span("ping", kind="phase", round=round_no + 1):
+            for s in list(self.conns):
+                try:
+                    self.conns[s].send("ping", {"round": round_no})
+                except TransportError:
+                    log.warning("round %d: silo %d unreachable at ping; "
+                                "dropping the connection", round_no, s)
+                    self._drop(s)
+            for s in list(self.conns):
+                try:
+                    frame = self.conns[s].recv_matching(
+                        "pong", round_no, self.net.ping_timeout)
+                except DeadlineExceeded:
+                    log.warning("round %d: silo %d missed the %.1fs ping "
+                                "deadline", round_no, s,
+                                self.net.ping_timeout)
+                    continue
+                except (TransportError, WireError):
+                    log.warning("round %d: silo %d lost at ping; dropping "
+                                "the connection", round_no, s)
+                    self._drop(s)
+                    continue
+                alive[s] = bool(frame.payload.get("ready", True))
         return alive
 
     def serve(self):
@@ -319,11 +379,40 @@ class FederationServer:
         propagates :class:`QuorumError` from the masked backend's
         ``min_survivors`` check the same way.
         """
+        with obs_session(self.spec, mode="serve"):
+            return self._serve_rounds()
+
+    def _attempt_byte_marks(self) -> dict[int, tuple[int, int]]:
+        """Per-connection (sent, received) byte counters, pre-attempt."""
+        return {s: (c.bytes_sent, c.bytes_received)
+                for s, c in self.conns.items()}
+
+    def _charge_retry_ledger(self, marks: dict[int, tuple[int, int]]) -> None:
+        """Attribute an aborted attempt's wire traffic to the retry ledger.
+
+        The simulator's comm ledger is about to be rolled back with the
+        snapshot, so these bytes would otherwise vanish from every
+        record; here they stay visible without double-counting.
+        """
+        self.retry_ledger["attempts"] += 1
+        for s, (sent0, recv0) in marks.items():
+            conn = self.conns.get(s)
+            if conn is None:
+                continue
+            self.retry_ledger["downlink_bytes"] += conn.bytes_sent - sent0
+            self.retry_ledger["uplink_bytes"] += conn.bytes_received - recv0
+
+    def _serve_rounds(self):
         self.bind()
         sim = self.sim
         method = sim.method
         sim_spec = self.spec.sim
+        recorder = get_recorder()
+        reg = get_registry()
         every = sim_spec.checkpoint_every or max(1, sim.config.rounds // 4)
+        log.info("serving %d silo(s), rounds %d..%d on port %s",
+                 sim.fed.n_silos, sim.rounds_completed, sim.config.rounds,
+                 self.port)
         try:
             self._await_roster()
             while not sim.done:
@@ -337,10 +426,15 @@ class FederationServer:
                             f"round {t}: {live} silo(s) alive, below "
                             f"net.min_quorum={self.net.min_quorum}; "
                             "aborting the run")
+                        log.error("%s", reason)
+                        recorder.event("quorum_abort", round=t + 1,
+                                       live=live,
+                                       min_quorum=self.net.min_quorum)
                         self._broadcast("abort",
                                         {"round": t, "reason": reason})
                         raise QuorumError(reason)
                     snapshot = sim.state_dict()
+                    marks = self._attempt_byte_marks()
                     method.contribution_executor = _RemoteExecutor(self, t)
                     sim.external_dropout = alive.copy()
                     try:
@@ -350,6 +444,23 @@ class FederationServer:
                         # Timeout/transport/bad-reply mid-round: the silo
                         # becomes an observed dropout, the round restarts
                         # from the snapshot without it.
+                        log.warning("round %d: %s; retrying the round "
+                                    "without silo %d", t, failure,
+                                    failure.silo)
+                        recorder.event("silo_fault", round=t + 1,
+                                       silo=failure.silo,
+                                       reason=failure.reason)
+                        reg.counter(
+                            "net_silo_faults_total",
+                            help="Mid-round silo failures observed by the "
+                                 "server.",
+                        ).inc()
+                        self._charge_retry_ledger(marks)
+                        reg.counter(
+                            "net_round_retries_total",
+                            help="Round attempts aborted and retried from "
+                                 "a snapshot.",
+                        ).inc()
                         alive[failure.silo] = False
                         self._drop(failure.silo)
                         sim.load_state(snapshot)
@@ -360,8 +471,11 @@ class FederationServer:
                         sim.rounds_completed % every == 0 or sim.done):
                     from repro.sim.checkpoint import save_checkpoint
 
-                    save_checkpoint(sim_spec.checkpoint_dir, sim,
-                                    extra=checkpoint_extra(self.spec))
+                    with recorder.span("checkpoint", kind="phase",
+                                       round=sim.rounds_completed):
+                        save_checkpoint(sim_spec.checkpoint_dir, sim,
+                                        extra=checkpoint_extra(self.spec))
+            log.info("run complete after round %d", sim.rounds_completed)
             self._broadcast("done", {"round": sim.rounds_completed})
             return sim.history
         finally:

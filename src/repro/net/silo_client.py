@@ -24,9 +24,9 @@ chaos tests exercise the production server code unmodified.
 
 from __future__ import annotations
 
+import logging
 import os
 import random
-import sys
 import time
 
 from repro.api.runner import build_simulator
@@ -40,6 +40,8 @@ from repro.net.transport import (
     connect_with_retry,
 )
 from repro.net.wire import WIRE_VERSION, WireError, pack_frame
+
+log = logging.getLogger(__name__)
 
 
 class SiloClient:
@@ -155,9 +157,8 @@ class SiloClient:
             elif frame.type == "done":
                 return "done"
             elif frame.type == "abort":
-                reason = frame.payload.get("reason", "")
-                print(f"silo {self.silo_id}: server aborted: {reason}",
-                      file=sys.stderr)
+                log.error("silo %d: server aborted: %s", self.silo_id,
+                          frame.payload.get("reason", ""))
                 return "abort"
             else:
                 continue  # unknown frame type: ignore (forward compat)
@@ -182,7 +183,7 @@ class SiloClient:
                     self.net.host, self.port, policy, backoff_rng,
                     timeout=self.net.join_timeout)
             except TransportError as exc:
-                print(f"silo {self.silo_id}: {exc}", file=sys.stderr)
+                log.error("silo %d: %s", self.silo_id, exc)
                 return 3
             conn = MessageSocket(sock)
             try:
@@ -194,13 +195,13 @@ class SiloClient:
                 conn.close()
                 failures += 1
                 if failures > self.net.connect_retries:
-                    print(f"silo {self.silo_id}: gave up after {failures} "
-                          "failed sessions", file=sys.stderr)
+                    log.error("silo %d: gave up after %d failed sessions",
+                              self.silo_id, failures)
                     return 3
                 continue
             if frame.type == "refuse":
-                print(f"silo {self.silo_id}: refused: "
-                      f"{frame.payload.get('reason', '')}", file=sys.stderr)
+                log.error("silo %d: refused: %s", self.silo_id,
+                          frame.payload.get("reason", ""))
                 conn.close()
                 return 2
             if frame.type != "welcome":
@@ -216,6 +217,6 @@ class SiloClient:
                 return 1
             failures += 1
             if failures > self.net.connect_retries:
-                print(f"silo {self.silo_id}: gave up after {failures} "
-                      "failed sessions", file=sys.stderr)
+                log.error("silo %d: gave up after %d failed sessions",
+                          self.silo_id, failures)
                 return 3

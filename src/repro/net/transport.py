@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 
 from repro.net import wire
+from repro.obs.metrics import get_registry
 
 
 class TransportError(ConnectionError):
@@ -68,7 +69,13 @@ def connect_with_retry(host: str, port: int, policy: RetryPolicy,
 
 
 class MessageSocket:
-    """A connected socket speaking whole frames, with deadline receives."""
+    """A connected socket speaking whole frames, with deadline receives.
+
+    Every instance keeps its own :attr:`bytes_sent` / :attr:`bytes_received`
+    ledger (exact on-the-wire byte counts), and each send/recv feeds the
+    process metrics registry -- frame latency histograms and byte-total
+    counters labelled by frame type.
+    """
 
     # Ceiling on stale frames discarded per recv_matching call -- a peer
     # spamming mismatched frames fails loudly instead of looping forever.
@@ -76,6 +83,8 @@ class MessageSocket:
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -83,10 +92,23 @@ class MessageSocket:
 
     def send(self, msg_type: str, payload: dict | None = None,
              arrays: dict | None = None) -> None:
+        data = wire.pack_frame(msg_type, payload, arrays)
+        start = time.perf_counter()
         try:
-            wire.send_frame(self.sock, msg_type, payload, arrays)
+            self.sock.sendall(data)
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(data)
+        reg = get_registry()
+        reg.histogram(
+            "net_frame_send_seconds",
+            help="Wall-clock seconds spent in sendall per frame.",
+            unit="seconds",
+        ).labels(type=msg_type).observe(time.perf_counter() - start)
+        reg.counter(
+            "net_bytes_sent_total", help="Frame bytes written to sockets.",
+            unit="bytes",
+        ).labels(type=msg_type).inc(len(data))
 
     def send_raw(self, data: bytes) -> None:
         """Write pre-packed (possibly deliberately corrupted) bytes --
@@ -95,12 +117,18 @@ class MessageSocket:
             self.sock.sendall(data)
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(data)
 
     def recv(self, timeout: float | None = None) -> wire.Frame:
-        """Read one frame, raising :class:`DeadlineExceeded` on timeout."""
+        """Read one frame, raising :class:`DeadlineExceeded` on timeout.
+
+        The recv latency histogram includes the wait for the peer to
+        produce the frame, not just the read itself.
+        """
         self.sock.settimeout(timeout)
+        start = time.perf_counter()
         try:
-            return wire.recv_frame(self.sock)
+            frame = wire.recv_frame(self.sock)
         except socket.timeout as exc:
             raise DeadlineExceeded(
                 f"no frame within {timeout:.3f}s") from exc
@@ -111,6 +139,19 @@ class MessageSocket:
                 self.sock.settimeout(None)
             except OSError:
                 pass
+        self.bytes_received += frame.nbytes
+        reg = get_registry()
+        reg.histogram(
+            "net_frame_recv_seconds",
+            help="Seconds from recv call to a whole frame (includes the "
+                 "wait for the peer).",
+            unit="seconds",
+        ).labels(type=frame.type).observe(time.perf_counter() - start)
+        reg.counter(
+            "net_bytes_received_total", help="Frame bytes read from sockets.",
+            unit="bytes",
+        ).labels(type=frame.type).inc(frame.nbytes)
+        return frame
 
     def recv_matching(self, reply_type: str, round_no: int,
                       timeout: float) -> wire.Frame:

@@ -62,6 +62,9 @@ class Frame:
     type: str
     payload: dict = field(default_factory=dict)
     arrays: dict = field(default_factory=dict)
+    #: On-the-wire size of the frame this was decoded from (0 for frames
+    #: constructed locally) -- what the transport's byte ledgers read.
+    nbytes: int = 0
 
 
 def pack_frame(msg_type: str, payload: dict | None = None,
@@ -141,6 +144,7 @@ def recv_frame(sock) -> Frame:
         raise WireError(f"peer speaks wire version {header.get('v')!r}, "
                         f"this build speaks {WIRE_VERSION}")
     arrays = {}
+    total = 4 + 4 + hlen + 4
     for blob in header.get("blobs", ()):
         dtype = np.dtype(blob["dtype"])
         shape = tuple(int(s) for s in blob["shape"])
@@ -154,5 +158,7 @@ def recv_frame(sock) -> Frame:
                 f"blob {blob['name']!r} failed its CRC-32 check")
         arrays[blob["name"]] = (
             np.frombuffer(raw, dtype=dtype).reshape(shape).copy())
+        total += nbytes
     return Frame(type=str(header.get("type", "")),
-                 payload=header.get("payload", {}) or {}, arrays=arrays)
+                 payload=header.get("payload", {}) or {}, arrays=arrays,
+                 nbytes=total)

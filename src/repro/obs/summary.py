@@ -1,0 +1,239 @@
+"""Offline trace analysis: turn a ``trace.jsonl`` into readable tables.
+
+Backs the ``repro trace summary <trace.jsonl>`` CLI.  The input is the
+append-only span stream written by
+:class:`repro.obs.trace.JsonlTraceRecorder`; the output is four views:
+
+- **per round** -- duration, silos/users seen, uplink/downlink bytes;
+- **per phase** -- total/mean seconds and call counts, aggregated over
+  the whole run (protocol phases, secure-aggregation phases, server
+  phases such as ``ping`` and ``collect_contributions``);
+- **per silo** -- contribution count, total compute seconds, bytes both
+  ways, and the tightest deadline margin observed;
+- **slowest spans** and **fault events** -- where to look first when a
+  run misbehaves.
+
+Everything tolerates partial traces (a crashed run never writes its
+unclosed spans) and multiple runs appended to one file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+
+from .trace import TRACE_SCHEMA
+
+#: Event names treated as faults in the fault-event view.
+FAULT_EVENTS = frozenset({
+    "silo_fault", "silo_drop", "retry", "rollback", "quorum_abort",
+    "sim_fault",
+})
+
+
+class TraceError(ValueError):
+    """The file is not a readable uldp-fl trace."""
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse ``path`` into a list of record dicts, oldest first.
+
+    Raises :class:`TraceError` when the file is missing, empty, or its
+    first record is not a recognised trace meta line.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not JSON ({exc})") from exc
+            if not isinstance(rec, dict) or "kind" not in rec:
+                raise TraceError(f"{path}:{lineno}: not a trace record")
+            records.append(rec)
+    if not records:
+        raise TraceError(f"{path} is empty")
+    meta = records[0]
+    if meta.get("kind") != "meta" or meta.get("schema") != TRACE_SCHEMA:
+        raise TraceError(
+            f"{path} does not start with a {TRACE_SCHEMA} meta record")
+    return records
+
+
+def summarize(records: list[dict]) -> dict:
+    """Aggregate a record list into the four summary views."""
+    rounds: dict[int, dict] = {}
+    phases: dict[str, dict] = defaultdict(
+        lambda: {"total": 0.0, "count": 0, "max": 0.0})
+    silos: dict[str, dict] = defaultdict(lambda: {
+        "count": 0, "seconds": 0.0, "uplink_bytes": 0, "downlink_bytes": 0,
+        "min_deadline_margin": None,
+    })
+    spans: list[dict] = []
+    faults: list[dict] = []
+    meta = records[0] if records and records[0].get("kind") == "meta" else {}
+
+    for rec in records:
+        kind = rec.get("kind")
+        attrs = rec.get("attrs") or {}
+        if kind == "meta":
+            continue
+        if kind == "event":
+            if rec.get("name") in FAULT_EVENTS:
+                faults.append(rec)
+            continue
+        spans.append(rec)
+        if kind == "round":
+            round_no = attrs.get("round")
+            if round_no is None:
+                continue
+            entry = rounds.setdefault(int(round_no), {
+                "dur": 0.0, "silos_seen": None, "users_seen": None,
+                "uplink_bytes": 0, "downlink_bytes": 0,
+            })
+            entry["dur"] += rec.get("dur", 0.0)
+            for key in ("silos_seen", "users_seen"):
+                if attrs.get(key) is not None:
+                    entry[key] = attrs[key]
+            for key in ("uplink_bytes", "downlink_bytes"):
+                entry[key] += int(attrs.get(key) or 0)
+        elif kind == "phase":
+            entry = phases[rec.get("name", "?")]
+            dur = rec.get("dur", 0.0)
+            entry["total"] += dur
+            entry["count"] += 1
+            entry["max"] = max(entry["max"], dur)
+        elif kind == "silo":
+            silo = str(attrs.get("silo", "?"))
+            entry = silos[silo]
+            entry["count"] += 1
+            entry["seconds"] += rec.get("dur", 0.0)
+            entry["uplink_bytes"] += int(attrs.get("uplink_bytes") or 0)
+            entry["downlink_bytes"] += int(attrs.get("downlink_bytes") or 0)
+            margin = attrs.get("deadline_margin")
+            if margin is not None:
+                prev = entry["min_deadline_margin"]
+                entry["min_deadline_margin"] = (
+                    margin if prev is None else min(prev, margin))
+
+    return {
+        "meta": meta,
+        "rounds": dict(sorted(rounds.items())),
+        "phases": dict(sorted(phases.items(),
+                              key=lambda kv: -kv[1]["total"])),
+        "silos": dict(sorted(silos.items())),
+        "spans": spans,
+        "faults": faults,
+    }
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt_bytes(n) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:,.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:,.1f} GiB"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def render_summary(records: list[dict], slowest: int = 5) -> str:
+    """The human-readable multi-table summary of one trace file."""
+    s = summarize(records)
+    out: list[str] = []
+    meta = s["meta"]
+    header = f"trace: schema={meta.get('schema', '?')}"
+    if meta.get("run_id"):
+        header += f"  run={meta['run_id']}"
+    if meta.get("sample_rate", 1.0) != 1.0:
+        header += f"  sample_rate={meta['sample_rate']}"
+    out.append(header)
+    out.append(f"records: {len(s['spans'])} spans, "
+               f"{len(s['faults'])} fault events")
+
+    if s["rounds"]:
+        out.append("")
+        out.append("per round")
+        rows = [
+            [str(r), f"{e['dur']:.3f}",
+             "-" if e["silos_seen"] is None else str(e["silos_seen"]),
+             "-" if e["users_seen"] is None else str(e["users_seen"]),
+             _fmt_bytes(e["uplink_bytes"]), _fmt_bytes(e["downlink_bytes"])]
+            for r, e in s["rounds"].items()
+        ]
+        out.extend(_table(
+            ["round", "seconds", "silos", "users", "uplink", "downlink"],
+            rows))
+
+    if s["phases"]:
+        out.append("")
+        out.append("per phase")
+        rows = [
+            [name, f"{e['total']:.3f}", str(e["count"]),
+             f"{e['total'] / e['count']:.4f}" if e["count"] else "-",
+             f"{e['max']:.4f}"]
+            for name, e in s["phases"].items()
+        ]
+        out.extend(_table(
+            ["phase", "total s", "calls", "mean s", "max s"], rows))
+
+    if s["silos"]:
+        out.append("")
+        out.append("per silo")
+        rows = []
+        for silo, e in s["silos"].items():
+            margin = e["min_deadline_margin"]
+            rows.append([
+                silo, str(e["count"]), f"{e['seconds']:.3f}",
+                _fmt_bytes(e["uplink_bytes"]),
+                _fmt_bytes(e["downlink_bytes"]),
+                "-" if margin is None else f"{margin:.2f}s",
+            ])
+        out.extend(_table(
+            ["silo", "spans", "seconds", "uplink", "downlink",
+             "min margin"], rows))
+
+    ranked = sorted(s["spans"], key=lambda r: -r.get("dur", 0.0))[:slowest]
+    if ranked:
+        out.append("")
+        out.append(f"slowest {len(ranked)} spans")
+        rows = [
+            [f"{r.get('dur', 0.0):.4f}", r.get("kind", "?"),
+             r.get("name", "?"),
+             json.dumps(r.get("attrs") or {}, sort_keys=True)]
+            for r in ranked
+        ]
+        out.extend(_table(["seconds", "kind", "name", "attrs"], rows))
+
+    if s["faults"]:
+        out.append("")
+        out.append("fault events")
+        rows = [
+            [f"{r.get('ts', 0.0):.3f}", r.get("name", "?"),
+             json.dumps(r.get("attrs") or {}, sort_keys=True)]
+            for r in s["faults"]
+        ]
+        out.extend(_table(["ts", "event", "attrs"], rows))
+
+    return "\n".join(out)

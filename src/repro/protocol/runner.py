@@ -31,6 +31,7 @@ from repro.protocol.parties import (
     SiloParty,
     run_weighted_delta_kernel,
 )
+from repro.obs.metrics import get_registry
 from repro.protocol.timing import PhaseTimer
 
 
@@ -302,6 +303,10 @@ class PrivateWeightingProtocol:
         self.view.round_ciphertexts.append(
             [[c.value for c in vec] for vec in silo_vectors]
         )
+        get_registry().counter(
+            "protocol_ciphertexts_total",
+            help="Paillier ciphertexts produced by silo-weighted encryption.",
+        ).inc(sum(len(vec) for vec in silo_vectors))
 
         with self.timer.phase("aggregate_decrypt"):
             aggregate = self.server.aggregate_and_decrypt(

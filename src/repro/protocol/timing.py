@@ -4,6 +4,17 @@ The paper reports per-phase execution times (key exchange, blinded-histogram
 preparation, local training, encrypted aggregation).  :class:`PhaseTimer`
 accumulates wall-clock durations under named phases; the protocol runner
 wraps each step with it so benchmarks can read the breakdown directly.
+
+Each :meth:`PhaseTimer.phase` block also opens a ``phase``-kind span on
+the process trace recorder (:mod:`repro.obs.trace`), so enabling tracing
+surfaces every protocol and secure-aggregation phase in ``trace.jsonl``
+with no further instrumentation.
+
+Concurrency: one ``PhaseTimer`` instance is **not** thread-safe -- its
+totals are plain float adds with no lock, so two threads timing phases
+on the same instance can lose updates.  Give each worker (thread or
+process) its own timer and combine them afterwards with :meth:`merge`;
+that is how the protocol runner accounts for its process-pool workers.
 """
 
 from __future__ import annotations
@@ -12,9 +23,15 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 
+from repro.obs.trace import get_recorder
+
 
 class PhaseTimer:
-    """Accumulates wall-clock time per named phase."""
+    """Accumulates wall-clock time per named phase.
+
+    Not thread-safe; see the module docstring.  Worker timers merge into
+    a parent with :meth:`merge`.
+    """
 
     def __init__(self):
         self.totals: dict[str, float] = defaultdict(float)
@@ -22,12 +39,13 @@ class PhaseTimer:
 
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.totals[name] += time.perf_counter() - start
-            self.counts[name] += 1
+        with get_recorder().span(name, kind="phase"):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.totals[name] += time.perf_counter() - start
+                self.counts[name] += 1
 
     def add(self, name: str, seconds: float) -> None:
         """Record an externally measured duration."""
@@ -35,6 +53,19 @@ class PhaseTimer:
             raise ValueError("duration must be non-negative")
         self.totals[name] += seconds
         self.counts[name] += 1
+
+    def merge(self, other: "PhaseTimer") -> "PhaseTimer":
+        """Fold another timer's totals and counts into this one.
+
+        The combining step for per-worker timers: each worker times its
+        own phases on a private instance, and the parent merges them once
+        the workers are done.  Returns ``self`` for chaining.
+        """
+        for name, seconds in other.totals.items():
+            self.totals[name] += seconds
+        for name, count in other.counts.items():
+            self.counts[name] += count
+        return self
 
     def report(self) -> dict[str, float]:
         """Total seconds per phase (copy)."""

@@ -135,6 +135,18 @@ def comparison_table(histories: list[TrainingHistory]) -> str:
             f"{h.method:<24s} {f.metric:8.4f} {f.loss:10.4f} {eps:>10s} "
             f"{seen:>12s} {uplink:>9s}  {sparkline(h.series('metric'))}"
         )
+    # Merged protocol-phase totals (PhaseTimer seconds accumulated by the
+    # trainer) -- a footer rather than a column, since the phase set
+    # varies by method.
+    merged: dict[str, float] = {}
+    for h in histories:
+        for phase, seconds in getattr(h, "phase_seconds", {}).items():
+            merged[phase] = merged.get(phase, 0.0) + float(seconds)
+    if merged:
+        parts = [f"{phase}={seconds:.3f}s"
+                 for phase, seconds in sorted(merged.items(),
+                                              key=lambda kv: -kv[1])]
+        lines.append("phase totals: " + "  ".join(parts))
     return "\n".join(lines)
 
 
@@ -182,6 +194,11 @@ def history_to_dict(history: TrainingHistory) -> dict:
             }
             for c in history.comm
         ]
+    if getattr(history, "phase_seconds", None):
+        data["phase_seconds"] = {
+            phase: float(seconds)
+            for phase, seconds in history.phase_seconds.items()
+        }
     return data
 
 
@@ -221,6 +238,8 @@ def history_from_dict(data: dict) -> TrainingHistory:
                 downlink_bytes=int(c["downlink_bytes"]),
             )
         )
+    for phase, seconds in data.get("phase_seconds", {}).items():
+        history.phase_seconds[str(phase)] = float(seconds)
     return history
 
 

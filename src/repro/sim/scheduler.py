@@ -40,6 +40,8 @@ from repro.core.weighting import (
 )
 from repro.data.federated import FederatedDataset
 from repro.nn.model import Sequential
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_recorder
 from repro.sim.participation import (
     BandwidthModel,
     ChurnProcess,
@@ -294,6 +296,7 @@ class FederationSimulator:
             # ideal-network serve keeps a log bit-identical to in-process.
             entry["silos_observed_down"] = observed_down
         self.round_log.append(entry)
+        self._observe_release(entry)
 
     # -- buffered-async ------------------------------------------------------
 
@@ -411,20 +414,32 @@ class FederationSimulator:
                 users_seen=len(realised),
             ),
         )
-        self.round_log.append(
-            {
-                "round": t + 1,
-                "policy": policy.name,
-                "renorm": "staleness",
-                "silos_included": len({u.silo for u in merged}),
-                "mean_staleness": float(
-                    np.mean([self._version - 1 - u.version for u in merged])
-                ),
-                "sensitivity": sensitivity,
-                "noise_scale": noise_scale,
-                "clock": self.clock,
-            }
-        )
+        entry = {
+            "round": t + 1,
+            "policy": policy.name,
+            "renorm": "staleness",
+            "silos_included": len({u.silo for u in merged}),
+            "mean_staleness": float(
+                np.mean([self._version - 1 - u.version for u in merged])
+            ),
+            "sensitivity": sensitivity,
+            "noise_scale": noise_scale,
+            "clock": self.clock,
+        }
+        self.round_log.append(entry)
+        self._observe_release(entry)
+
+    def _observe_release(self, entry: dict) -> None:
+        """Mirror one round-log entry into the trace and metrics layers."""
+        get_recorder().event("sim_release", **entry)
+        get_registry().counter(
+            "sim_releases_total",
+            help="Simulator round releases (sync rounds or async buffers).",
+        ).inc()
+        get_registry().gauge(
+            "sim_clock_seconds",
+            help="The simulator's virtual clock.", unit="seconds",
+        ).set(entry.get("clock", 0.0))
 
     # -- checkpoint serialisation --------------------------------------------
 

@@ -1,0 +1,68 @@
+"""Validation and hash-stability of the [obs] spec section."""
+
+import pytest
+
+from repro.api.spec import ObsSpec, RunSpec, SpecError
+
+
+def tree(**obs) -> dict:
+    return {
+        "name": "obs-spec",
+        "rounds": 1,
+        "dataset": {"users": 6, "silos": 2, "records": 80},
+        "obs": obs,
+    }
+
+
+class TestValidation:
+    def test_defaults_are_disabled(self):
+        obs = ObsSpec()
+        assert obs.enabled is False
+        assert obs.trace_path is None
+        assert obs.sample_rate == 1.0
+        assert obs.metrics_port is None
+
+    def test_enabled_must_be_bool(self):
+        with pytest.raises(SpecError, match="boolean"):
+            RunSpec.from_dict(tree(enabled=1))
+
+    def test_sample_rate_bounds(self):
+        for rate in (0.0, -0.5, 1.01):
+            with pytest.raises(SpecError, match="sample_rate"):
+                ObsSpec(sample_rate=rate)
+        ObsSpec(sample_rate=1.0)
+        ObsSpec(sample_rate=0.001)
+
+    def test_metrics_port_bounds(self):
+        for port in (-1, 65536):
+            with pytest.raises(SpecError, match="metrics_port"):
+                ObsSpec(metrics_port=port)
+        assert ObsSpec(metrics_port=0).metrics_port == 0
+
+    def test_unknown_obs_key_rejected(self):
+        with pytest.raises(SpecError):
+            RunSpec.from_dict(tree(enabled=True, verbosity=3))
+
+
+class TestHashStability:
+    def test_obs_never_changes_the_canonical_hash(self):
+        base = RunSpec.from_dict({k: v for k, v in tree().items()
+                                  if k != "obs"})
+        variants = [
+            tree(enabled=True),
+            tree(enabled=True, sample_rate=0.25),
+            tree(enabled=True, trace_path="/tmp/t.jsonl", metrics_port=0),
+            tree(enabled=False),
+        ]
+        for variant in variants:
+            assert RunSpec.from_dict(variant).hash() == base.hash()
+
+    def test_obs_survives_to_dict(self):
+        spec = RunSpec.from_dict(tree(enabled=True, sample_rate=0.5))
+        data = spec.to_dict()
+        assert data["obs"]["enabled"] is True
+        assert RunSpec.from_dict(data).obs == spec.obs
+
+    def test_canonical_json_omits_obs(self):
+        spec = RunSpec.from_dict(tree(enabled=True))
+        assert '"obs"' not in spec.canonical_json()

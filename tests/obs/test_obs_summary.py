@@ -1,0 +1,134 @@
+"""Coverage for trace loading, aggregation, and rendering."""
+
+import pytest
+
+from repro.obs.summary import (
+    FAULT_EVENTS,
+    TraceError,
+    load_trace,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import JsonlTraceRecorder
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A small but fully featured trace: 2 rounds, 2 silos, one fault."""
+    path = tmp_path / "trace.jsonl"
+    rec = JsonlTraceRecorder(path, run_id="demo-run")
+    with rec.span("run", kind="run", spec_name="demo"):
+        for t in (1, 2):
+            with rec.span("round", kind="round", round=t) as round_span:
+                with rec.span("ping", kind="phase", round=t):
+                    pass
+                with rec.span("collect_contributions", kind="phase", round=t):
+                    for silo in (0, 1):
+                        with rec.span("silo_compute", kind="silo", silo=silo,
+                                      round=t, uplink_bytes=100 + silo,
+                                      downlink_bytes=200 + silo,
+                                      deadline_margin=5.0 - t - silo):
+                            pass
+                round_span.set(seconds=0.5, silos_seen=2, users_seen=10,
+                               uplink_bytes=201, downlink_bytes=401)
+        rec.event("silo_fault", round=2, silo=1, reason="timeout")
+    rec.close()
+    return path
+
+
+class TestLoadTrace:
+    def test_loads_records_with_meta_first(self, trace_path):
+        records = load_trace(trace_path)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["run_id"] == "demo-run"
+        assert len(records) > 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="no trace file"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(path)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(TraceError, match="not JSON"):
+            load_trace(path)
+
+    def test_wrong_first_record(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text('{"kind": "round", "name": "round"}\n')
+        with pytest.raises(TraceError, match="meta record"):
+            load_trace(path)
+
+
+class TestSummarize:
+    def test_rounds_view(self, trace_path):
+        s = summarize(load_trace(trace_path))
+        assert sorted(s["rounds"]) == [1, 2]
+        entry = s["rounds"][1]
+        assert entry["silos_seen"] == 2
+        assert entry["users_seen"] == 10
+        assert entry["uplink_bytes"] == 201
+        assert entry["downlink_bytes"] == 401
+        assert entry["dur"] > 0.0
+
+    def test_phases_view_sorted_by_total(self, trace_path):
+        s = summarize(load_trace(trace_path))
+        assert set(s["phases"]) == {"ping", "collect_contributions"}
+        totals = [e["total"] for e in s["phases"].values()]
+        assert totals == sorted(totals, reverse=True)
+        assert s["phases"]["ping"]["count"] == 2
+
+    def test_silos_view(self, trace_path):
+        s = summarize(load_trace(trace_path))
+        assert sorted(s["silos"]) == ["0", "1"]
+        silo1 = s["silos"]["1"]
+        assert silo1["count"] == 2
+        assert silo1["uplink_bytes"] == 202  # 101 per round
+        assert silo1["downlink_bytes"] == 402
+        # Tightest margin: round 2, silo 1 -> 5 - 2 - 1 = 2.
+        assert silo1["min_deadline_margin"] == pytest.approx(2.0)
+
+    def test_faults_view(self, trace_path):
+        s = summarize(load_trace(trace_path))
+        (fault,) = s["faults"]
+        assert fault["name"] == "silo_fault"
+        assert fault["attrs"]["reason"] == "timeout"
+        assert "silo_fault" in FAULT_EVENTS
+
+    def test_non_fault_events_excluded(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rec = JsonlTraceRecorder(path)
+        rec.event("sim_release", round=1)
+        rec.event("quorum_abort", round=1)
+        rec.close()
+        s = summarize(load_trace(path))
+        assert [f["name"] for f in s["faults"]] == ["quorum_abort"]
+
+
+class TestRenderSummary:
+    def test_all_sections_present(self, trace_path):
+        text = render_summary(load_trace(trace_path))
+        assert "trace: schema=uldp-fl-trace/v1" in text
+        assert "run=demo-run" in text
+        assert "per round" in text
+        assert "per phase" in text
+        assert "per silo" in text
+        assert "slowest" in text
+        assert "fault events" in text
+        assert "silo_fault" in text
+
+    def test_slowest_limit_respected(self, trace_path):
+        text = render_summary(load_trace(trace_path), slowest=2)
+        assert "slowest 2 spans" in text
+
+    def test_minimal_trace_renders(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        JsonlTraceRecorder(path).close()
+        text = render_summary(load_trace(path))
+        assert "0 spans" in text

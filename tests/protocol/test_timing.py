@@ -45,6 +45,49 @@ class TestAdd:
         assert "bad" not in timer.totals
 
 
+class TestMerge:
+    def test_merge_folds_totals_and_counts(self):
+        parent = PhaseTimer()
+        parent.add("train", 1.0)
+        worker = PhaseTimer()
+        worker.add("train", 0.5)
+        worker.add("encrypt", 2.0)
+        result = parent.merge(worker)
+        assert result is parent  # chains
+        assert parent.totals["train"] == pytest.approx(1.5)
+        assert parent.counts["train"] == 2
+        assert parent.totals["encrypt"] == pytest.approx(2.0)
+        assert parent.counts["encrypt"] == 1
+
+    def test_merge_leaves_source_untouched(self):
+        parent = PhaseTimer()
+        worker = PhaseTimer()
+        worker.add("io", 0.25)
+        parent.merge(worker)
+        assert worker.totals["io"] == pytest.approx(0.25)
+        assert worker.counts["io"] == 1
+
+    def test_merge_empty_is_identity(self):
+        parent = PhaseTimer()
+        parent.add("a", 1.0)
+        parent.merge(PhaseTimer())
+        assert parent.report() == {"a": 1.0}
+        assert parent.counts["a"] == 1
+
+    def test_merge_many_workers_matches_serial(self):
+        serial = PhaseTimer()
+        merged = PhaseTimer()
+        for i in range(4):
+            worker = PhaseTimer()
+            for name, seconds in (("setup", 0.1), ("round", 0.2 * (i + 1))):
+                serial.add(name, seconds)
+                worker.add(name, seconds)
+            merged.merge(worker)
+        assert merged.counts == serial.counts
+        for name in serial.totals:
+            assert merged.totals[name] == pytest.approx(serial.totals[name])
+
+
 class TestReportAndSummary:
     def test_report_returns_copy(self):
         timer = PhaseTimer()
