@@ -6,6 +6,9 @@
 #   make bench-protocol reference vs. fast Paillier vs. masked secagg
 #   make bench-sim      simulation runtime: 1M-user population + dropout
 #   make bench-compress update compression: uplink bytes vs utility (fig05)
+#   make bench-scaleout sharded engine: one DP round over 100k sampled users
+#                       in bounded resident memory (BENCH_SCALEOUT_SCALE=smoke
+#                       shrinks it to CI size)
 #   make sweep-smoke    validate every committed spec file, then one smoke
 #                       `repro run --config` and one 2-point `repro sweep`
 #   make trace-smoke    one traced networked round trip: serve net_sim.toml
@@ -13,15 +16,16 @@
 #                       resulting trace.jsonl
 #   make docs-check     doctest the docs' worked examples + docstring coverage
 #
-# bench-engine, bench-protocol, bench-sim, and bench-compress also refresh
-# the machine-readable BENCH_engine.json / BENCH_protocol.json /
-# BENCH_sim.json / BENCH_compression.json at the repo root, so the perf
-# trajectory is tracked across PRs (CI uploads them as artifacts).
+# bench-engine, bench-protocol, bench-sim, bench-compress, and
+# bench-scaleout also refresh the machine-readable BENCH_engine.json /
+# BENCH_protocol.json / BENCH_sim.json / BENCH_compression.json /
+# BENCH_scaleout.json at the repo root, so the perf trajectory is
+# tracked across PRs (CI uploads them as artifacts).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress sweep-smoke trace-smoke docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress bench-scaleout sweep-smoke trace-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +44,9 @@ bench-sim:
 
 bench-compress:
 	$(PYTHON) -m pytest benchmarks/bench_compression.py -s
+
+bench-scaleout:
+	$(PYTHON) -m pytest benchmarks/bench_scaleout.py -s
 
 # Smoke the declarative surface end to end: every committed spec file
 # must validate (registry names, enums, sweep expansion), one config run

@@ -1,0 +1,227 @@
+"""Scale-out bench: one full DP round over >= 100k sampled users, bounded RAM.
+
+The sharded execution layer's reason to exist: a round whose *naive*
+vectorized execution would materialise every sampled user's records and
+the full (n_jobs, P) delta matrix at once must instead run in bounded
+resident memory -- workers stream micro-batch partial aggregates into
+BinnedSum accumulators, and each worker only ever holds its own shard's
+records (synthesised via the population's loader descriptor, never
+shipped from the parent).
+
+What this measures and asserts:
+
+- **scale** -- a memory-mapped million-user ShardedUserPopulation,
+  100_000 sampled users (>= the ISSUE floor), one full ULDP-AVG-style
+  DP round: per-user local training, clip, weight, binned aggregation,
+  per-silo Gaussian noise.
+- **memory** -- the peak RSS overhead of the round (parent high-water
+  plus the worker children's peak) stays under a cap that is a fraction
+  of the naive footprint; the naive figure is also reported so the
+  headroom is visible in BENCH_scaleout.json.
+- **fidelity** (smoke scale) -- workers=2 reproduces workers=0 byte for
+  byte, the contract tests/core/test_engine_determinism.py pins on the
+  real trainer.
+
+Scales:  BENCH_SCALEOUT_SCALE=full   (default; 100k users, 64 features)
+         BENCH_SCALEOUT_SCALE=smoke  (CI; 2k users, 16 features)
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_scaleout.py -s
+ or:  PYTHONPATH=src python benchmarks/bench_scaleout.py
+"""
+
+import os
+import resource
+import tempfile
+import time
+
+import numpy as np
+from conftest import print_header, write_bench_json
+
+from repro.core.engine import (
+    MICRO_BATCH,
+    EngineConfig,
+    ShardedEngine,
+    make_shard_task,
+    plan_shards,
+)
+from repro.core.reduce import fold_scale
+from repro.nn import build_logistic
+from repro.sim.population import ShardedUserPopulation
+
+SIGMA = 5.0
+CLIP = 1.0
+LOCAL_LR = 0.05
+N_SILOS = 5
+DATA_SEED = 11
+
+
+def _scale_params():
+    scale = os.environ.get("BENCH_SCALEOUT_SCALE", "full")
+    if scale == "smoke":
+        return scale, dict(
+            population=200_000, sampled=2_000, features=16,
+            shard_size=512, workers=2,
+        )
+    return scale, dict(
+        population=1_000_000, sampled=100_000, features=64,
+        shard_size=4096, workers=2,
+    )
+
+
+# -- memory probes -------------------------------------------------------------
+
+
+def _proc_status_kb(field: str) -> int:
+    with open("/proc/self/status", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith(field + ":"):
+                return int(line.split()[1])
+    raise RuntimeError(f"{field} not in /proc/self/status")
+
+
+def _parent_rss() -> int:
+    return _proc_status_kb("VmRSS") * 1024
+
+
+def _parent_peak() -> int:
+    return _proc_status_kb("VmHWM") * 1024
+
+
+def _children_peak() -> int:
+    """Peak RSS over all reaped worker children (0 before any fork)."""
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+
+
+# -- the round -----------------------------------------------------------------
+
+
+def _build_tasks(pop, ids, model, params, cfg, features):
+    """Shard the sampled users into loader-descriptor tasks, silo-striped."""
+    weights_all = 1.0 / len(ids)
+    scale = fold_scale(CLIP, MICRO_BATCH)
+    tasks = []
+    per_silo_jobs = [0] * N_SILOS
+    for silo in range(N_SILOS):
+        silo_ids = ids[ids % N_SILOS == silo]
+        per_silo_jobs[silo] = len(silo_ids)
+        for a, b in plan_shards(len(silo_ids), cfg.aligned_shard_size):
+            tasks.append(
+                make_shard_task(
+                    mode="delta",
+                    model=model,
+                    task="binary",
+                    params=params,
+                    jobs=pop.shard_job_source(silo_ids[a:b], DATA_SEED, features),
+                    weights=np.full(b - a, weights_all),
+                    clip=CLIP,
+                    scale=scale,
+                    silo=silo,
+                    shard=len(tasks),
+                    lr=LOCAL_LR,
+                    epochs=1,
+                )
+            )
+    return tasks, per_silo_jobs
+
+
+def _dp_round(pop, ids, model, cfg, features, seed=0):
+    """One ULDP-AVG-style round; returns (new_params, results, seconds)."""
+    params = model.get_flat_params()
+    rng = np.random.default_rng(seed)
+    noise_std = SIGMA * CLIP / np.sqrt(N_SILOS)
+    noises = rng.normal(0.0, noise_std, (N_SILOS, params.size))
+    tasks, _ = _build_tasks(pop, ids, model, params, cfg, features)
+    engine = ShardedEngine(cfg)
+    try:
+        start = time.perf_counter()
+        results = engine.run_tasks(tasks)
+        aggregate = np.sum(noises, axis=0)
+        if results:
+            aggregate = aggregate + engine.reduce(results).total()
+        seconds = time.perf_counter() - start
+    finally:
+        engine.close()
+    return params + aggregate, results, seconds
+
+
+def test_scaleout():
+    scale, p = _scale_params()
+    print_header(f"scale-out bench ({scale})")
+
+    with tempfile.TemporaryDirectory(prefix="bench-scaleout-") as backing:
+        pop = ShardedUserPopulation(p["population"], backing_dir=backing, seed=7)
+        ids = pop.sample_users(np.random.default_rng(0), p["sampled"])
+        if scale != "smoke":
+            assert len(ids) >= 100_000, "full scale must cover >= 100k users"
+        model = build_logistic(np.random.default_rng(1), in_features=p["features"])
+        n_params = model.get_flat_params().size
+
+        counts = pop.record_counts_for(ids)
+        # What the unsharded vectorized path would hold at once: every
+        # sampled user's feature matrix plus the batched delta matrix.
+        naive_bytes = int(
+            np.maximum(counts, 1).sum() * p["features"] * 8
+            + len(ids) * n_params * 8
+        )
+
+        baseline_rss = _parent_rss()
+        cfg = EngineConfig(workers=p["workers"], shard_size=p["shard_size"])
+        new_params, results, seconds = _dp_round(pop, ids, model, cfg, p["features"])
+
+        peak = max(_parent_peak(), _children_peak())
+        overhead = max(0, peak - baseline_rss)
+        cap = max(256 * 1024 * 1024, int(0.6 * naive_bytes))
+        assert overhead < cap, (
+            f"round overhead {overhead / 1e6:.0f} MB exceeds the "
+            f"{cap / 1e6:.0f} MB bound (naive {naive_bytes / 1e6:.0f} MB)"
+        )
+        assert np.isfinite(new_params).all()
+        expected_shards = sum(
+            len(plan_shards(int((ids % N_SILOS == s).sum()), cfg.aligned_shard_size))
+            for s in range(N_SILOS)
+        )
+        assert len(results) == expected_shards
+
+        shard_seconds = [r["seconds"] for r in results]
+        section = {
+            "scale": scale,
+            "population_users": pop.n_users,
+            "sampled_users": int(len(ids)),
+            "total_records": int(np.maximum(counts, 1).sum()),
+            "features": p["features"],
+            "n_params": int(n_params),
+            "workers": p["workers"],
+            "shard_size": cfg.aligned_shard_size,
+            "n_shards": len(results),
+            "round_seconds": seconds,
+            "users_per_second": len(ids) / seconds,
+            "mean_shard_seconds": float(np.mean(shard_seconds)),
+            "max_shard_seconds": float(np.max(shard_seconds)),
+            "baseline_rss_mb": baseline_rss / 1e6,
+            "peak_rss_mb": peak / 1e6,
+            "overhead_mb": overhead / 1e6,
+            "overhead_cap_mb": cap / 1e6,
+            "naive_resident_mb": naive_bytes / 1e6,
+        }
+
+        if scale == "smoke":
+            inproc_cfg = EngineConfig(workers=0, shard_size=p["shard_size"])
+            inproc, _, _ = _dp_round(pop, ids, model, inproc_cfg, p["features"])
+            assert inproc.tobytes() == new_params.tobytes(), (
+                "workers=2 diverged from the in-process round"
+            )
+            section["bit_identical_to_inprocess"] = True
+
+    path = write_bench_json("BENCH_scaleout.json", {"scaleout": section})
+    print(
+        f"{len(ids):,} users / {section['total_records']:,} records in "
+        f"{seconds:.1f} s ({section['users_per_second']:.0f} users/s) | "
+        f"{len(results)} shards x {cfg.aligned_shard_size} | "
+        f"peak overhead {overhead / 1e6:.0f} MB "
+        f"(cap {cap / 1e6:.0f} MB, naive {naive_bytes / 1e6:.0f} MB)"
+    )
+    print(f"results written to {path}")
+
+
+if __name__ == "__main__":
+    test_scaleout()

@@ -106,6 +106,15 @@ def build_trainer(spec: RunSpec, fed=None):
         build = MODELS.get(spec.model.name)
         model = build(np.random.default_rng([_MODEL_STREAM, spec.seed]), fed)
     rounds = spec.rounds if spec.rounds is not None else 5
+    engine = None
+    if spec.engine is not None:
+        from repro.core.engine import EngineConfig
+
+        engine = EngineConfig(
+            workers=spec.engine.workers,
+            shard_size=spec.engine.shard_size,
+            backend=spec.engine.backend,
+        )
     return Trainer(
         fed,
         method,
@@ -115,6 +124,7 @@ def build_trainer(spec: RunSpec, fed=None):
         seed=spec.seed,
         eval_every=spec.eval_every,
         compression=spec.compression,
+        engine=engine,
     )
 
 

@@ -41,6 +41,10 @@ from repro.compress import CompressionSpec
 SCALES = ("smoke", "small", "paper")
 DISTRIBUTIONS = ("uniform", "zipf")
 ENGINES = ("loop", "vectorized")
+#: Array namespaces the sharded engine's fold can run on (mirrors
+#: :data:`repro.nn.backend.BACKENDS`; kept literal so the spec layer
+#: stays import-light -- pinned equal by tests/api/test_spec.py).
+ARRAY_BACKENDS = ("numpy", "torch", "cupy")
 GROUP_ROUTES = ("rdp", "dp")
 CRYPTO_BACKENDS = ("reference", "fast", "masked")
 
@@ -306,6 +310,37 @@ class ObsSpec:
             raise SpecError("metrics_port must lie in [0, 65535] (or omitted)")
 
 
+@dataclass(frozen=True)
+class EngineSpec:
+    """Sharded execution layout of the vectorized round hot path.
+
+    A pure performance/memory knob with one documented exception:
+    ``workers`` and ``shard_size`` never change results (the shard plan
+    is independent of the worker count, shards align to the engine's
+    numerical micro-batches, and partials combine through an exact
+    binned reduction -- see docs/scaleout.md), while a non-``numpy``
+    ``backend`` may differ at floating-point level on non-conformant
+    hardware.  ``workers = 0`` (the default) computes shards in-process;
+    ``workers >= 1`` runs them on a persistent process pool.
+    """
+
+    workers: int = 0
+    shard_size: int = 4096
+    backend: str = "numpy"
+
+    def __post_init__(self):
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise SpecError("workers must be an integer")
+        if self.workers < 0:
+            raise SpecError("workers must be >= 0 (0 = in-process)")
+        if not isinstance(self.shard_size, int) or isinstance(self.shard_size, bool):
+            raise SpecError("shard_size must be an integer")
+        if self.shard_size < 1:
+            raise SpecError("shard_size must be >= 1")
+        if self.backend not in ARRAY_BACKENDS:
+            raise SpecError(f"backend must be one of {ARRAY_BACKENDS}")
+
+
 # -- the root -----------------------------------------------------------------
 
 #: Section name -> dataclass of the subtree.
@@ -319,6 +354,7 @@ _SECTIONS: dict[str, type] = {
     "crypto": CryptoSpec,
     "net": NetSpec,
     "obs": ObsSpec,
+    "engine": EngineSpec,
 }
 
 #: Scalar keys living directly on the root.
@@ -346,6 +382,7 @@ class RunSpec:
     crypto: CryptoSpec | None = None
     net: NetSpec | None = None
     obs: ObsSpec | None = None
+    engine: EngineSpec | None = None
     #: Sweep axes: dotted config path -> list of values (one grid).
     sweep: dict = field(default_factory=dict)
 
@@ -386,6 +423,12 @@ class RunSpec:
             raise SpecError(
                 "net: only meaningful alongside [sim] -- repro serve "
                 "drives a named scenario (see docs/networking.md)"
+            )
+        if self.engine is not None and self.sim is not None:
+            raise SpecError(
+                "engine: not allowed alongside [sim] -- scenario recipes "
+                "drive their own trainers; sharded execution applies to "
+                "plain training runs (see docs/scaleout.md)"
             )
         if self.crypto is not None and self.method.name != SECURE_METHOD:
             raise SpecError(
@@ -438,6 +481,8 @@ class RunSpec:
             data["net"] = dataclasses.asdict(self.net)
         if self.obs is not None:
             data["obs"] = dataclasses.asdict(self.obs)
+        if self.engine is not None:
+            data["engine"] = dataclasses.asdict(self.engine)
         if self.sweep:
             data["sweep"] = {p: list(v) for p, v in self.sweep.items()}
         return data

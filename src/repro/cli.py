@@ -156,6 +156,17 @@ def train_spec_tree(args) -> dict:
     compression = _train_compression_tree(args)
     if compression is not None:
         tree["compression"] = compression
+    # getattr: oracle tests and older callers build bare Namespaces
+    # without the engine flags.
+    workers = getattr(args, "workers", None)
+    shard_size = getattr(args, "shard_size", None)
+    if workers is not None or shard_size is not None:
+        engine = {}
+        if workers is not None:
+            engine["workers"] = workers
+        if shard_size is not None:
+            engine["shard_size"] = shard_size
+        tree["engine"] = engine
     return tree
 
 
@@ -602,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-silo error-feedback residual accumulators")
     train.add_argument("--compress-downlink", action="store_true",
                        help="also compress the server's broadcast update")
+    train.add_argument("--workers", type=int, default=None,
+                       help="shard worker processes (0 = in-process; "
+                            "results are bit-identical either way)")
+    train.add_argument("--shard-size", type=int, default=None,
+                       help="sampled users per shard task (see docs/scaleout.md)")
     train.add_argument("--output", type=str, default=None,
                        help="write the history JSON here")
     train.set_defaults(func=cmd_train)

@@ -24,25 +24,62 @@ caller with :func:`draw_minibatch_schedule` in exactly the order the loop
 path draws them, which keeps the two engines' random streams -- and hence
 their noise draws -- bit-identical.
 
+Micro-batching discipline: BLAS reductions are composition-dependent at
+the ULP level, so a job's row bits change whenever the set of jobs it is
+batched with changes.  To make results independent of *how work is
+split* (shard size, worker count), the engine always processes jobs in
+fixed consecutive chunks of :data:`MICRO_BATCH` -- each chunk is one
+numerical batch whose composition depends only on the job's position in
+the caller's ordered job list.  Shard boundaries are aligned to
+micro-batch multiples (:func:`plan_shards`), so a shard computes exactly
+the micro-batches the single-process path would, and the streamed
+partial sums combine through the exact :class:`repro.core.reduce.BinnedSum`
+fold -- making the sharded path bit-identical to the in-process
+vectorized path for any ``workers``/``shard_size``.
+
 Methods expose the choice as ``engine="loop" | "vectorized"``
 (:class:`repro.core.methods.base.FLMethod`); the loop path remains as a
-differential-testing oracle.
+differential-testing oracle.  :class:`ShardedEngine` distributes the
+vectorized path across a worker pool (PR 2's picklable-kernel +
+``ProcessPoolExecutor`` pattern) when ``[engine] workers > 0``.
 """
 
 from __future__ import annotations
 
+import importlib
+import multiprocessing
+import os
+import sys
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.metrics import make_batched_loss, make_loss
+from repro.core.reduce import BinnedSum, fold_scale, tree_reduce
+from repro.nn.backend import ArrayBackend, get_backend, validate_backend
 from repro.nn.batched import per_group_gradients
 from repro.nn.clip import clip_factor_from_norms, clip_factor_rows, l2_clip_rows
 from repro.nn.model import Sequential, batch_model
+from repro.obs.metrics import get_registry
 from repro.obs.trace import get_recorder
 
 #: Engine names accepted by :class:`repro.core.methods.base.FLMethod`.
 ENGINES = ("loop", "vectorized")
+
+#: Jobs per numerical batch.  Every engine entry point processes its job
+#: list in consecutive chunks of this size, so a job's floating-point
+#: result depends only on its position in the ordered job list -- never
+#: on how many jobs happen to share the same call (see the module
+#: docstring).  128 keeps the padded tensors comfortably in cache while
+#: amortising the per-batch Python overhead.
+MICRO_BATCH = 128
+
+#: Default users per shard task (``[engine] shard_size``); a multiple of
+#: :data:`MICRO_BATCH` so default plans are always aligned.
+DEFAULT_SHARD_SIZE = 4096
 
 
 def validate_engine(engine: str) -> str:
@@ -52,23 +89,55 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
-#: Reused (G, P) result buffers.  The round loop produces one large delta
-#: or gradient matrix per round with a stable shape; re-allocating it every
-#: round spends more time in page faults than in arithmetic.  Contents are
-#: valid only until the next call with the same shape -- callers consume
-#: the matrix within the round.
-_MATRIX_POOL: dict[tuple[int, int], np.ndarray] = {}
+class _MatrixPool:
+    """Bounded, per-process pool of reusable (G, P) result buffers.
+
+    The round loop produces one large delta or gradient matrix per round
+    with a stable shape; re-allocating it every round spends more time in
+    page faults than in arithmetic.  Contents are valid only until the
+    next call with the same shape -- callers consume the matrix within
+    the round.
+
+    Two safety properties the old module-global dict lacked: the pool is
+    LRU-bounded (differently-shaped runs in one process recycle the
+    oldest buffer instead of accumulating or dropping everything), and it
+    is keyed to the owning process -- a fork-based worker that inherits
+    the parent's pool resets it on first touch rather than scribbling
+    into buffers the parent may still be reading.
+    """
+
+    MAX_ENTRIES = 8
+
+    def __init__(self) -> None:
+        self._pid: int | None = None
+        self._buffers: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+
+    def get(self, shape: tuple[int, int]) -> np.ndarray:
+        """An uninitialised reusable matrix of the given shape."""
+        pid = os.getpid()
+        if pid != self._pid:
+            self._buffers = OrderedDict()
+            self._pid = pid
+        buf = self._buffers.get(shape)
+        if buf is None:
+            while len(self._buffers) >= self.MAX_ENTRIES:
+                self._buffers.popitem(last=False)
+            buf = np.empty(shape)
+        else:
+            del self._buffers[shape]
+        self._buffers[shape] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+_MATRIX_POOL = _MatrixPool()
 
 
 def _pooled_matrix(shape: tuple[int, int]) -> np.ndarray:
     """An uninitialised reusable matrix of the given shape."""
-    buf = _MATRIX_POOL.get(shape)
-    if buf is None:
-        if len(_MATRIX_POOL) >= 8:
-            _MATRIX_POOL.clear()
-        buf = np.empty(shape)
-        _MATRIX_POOL[shape] = buf
-    return buf
+    return _MATRIX_POOL.get(shape)
 
 
 @dataclass
@@ -139,7 +208,9 @@ def _size_buckets(jobs: list[LocalJob]) -> list[list[int]]:
     skewed (zipf user allocations) that wastes most of the tensor on
     padding.  Bucketing by next-power-of-two record count bounds the
     padding overhead at 2x while keeping the bucket count logarithmic.
-    Jobs are independent, so splitting changes no results.
+    Jobs are independent, so splitting changes no results.  Buckets are
+    formed *within* one micro-batch, so bucketing never mixes jobs across
+    the fixed numerical chunks.
     """
     buckets: dict[int, list[int]] = {}
     for i, job in enumerate(jobs):
@@ -195,6 +266,36 @@ def _train_bucket(
     return bm.get_flat_params() - params[None, :]
 
 
+def _micro_batches(n: int) -> list[tuple[int, int]]:
+    """The fixed ``[start, stop)`` chunking of an ``n``-job list."""
+    return [(s, min(s + MICRO_BATCH, n)) for s in range(0, n, MICRO_BATCH)]
+
+
+def _delta_chunk(
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs: list[LocalJob],
+    lr: float,
+    epochs: int,
+    out: np.ndarray,
+) -> None:
+    """One micro-batch of unclipped local deltas, written into ``out``."""
+    if epochs == 1 and all(job.schedule is None for job in jobs):
+        local = model.clone()
+        local.set_flat_params(params)
+        loss = make_loss(task, local)
+        x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
+        y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
+        per_group_gradients(local, loss, x, y, [job.n for job in jobs], out=out)
+        np.multiply(out, -lr, out=out)
+        return
+    for indices in _size_buckets(jobs):
+        out[indices] = _train_bucket(
+            model, task, params, [jobs[i] for i in indices], lr, epochs
+        )
+
+
 def batched_local_deltas(
     model: Sequential,
     task: str,
@@ -210,27 +311,24 @@ def batched_local_deltas(
     return value is the ``(len(jobs), P)`` matrix of deltas
     ``local - global``, row-aligned with ``jobs``.  The per-row result
     matches :meth:`repro.core.methods.base.FLMethod._local_delta` up to
-    floating-point reassociation.  Jobs are grouped into similar-size
-    buckets (see :func:`_size_buckets`) purely for speed.
+    floating-point reassociation.  Jobs run in fixed micro-batches (see
+    the module docstring); within each chunk they are grouped into
+    similar-size buckets (see :func:`_size_buckets`) purely for speed.
 
     Single-step shortcut: one full-batch epoch (the paper's ULDP-AVG
     setting for figure benchmarks) never diverges the per-group parameters,
     so the deltas are exactly one SGD step from the shared model --
     computed via the much faster shared-weight gradient engine
-    (:func:`repro.nn.batched.per_group_gradients`).  On that path the
-    result is a pooled buffer: valid until the next engine call with the
-    same shape, so consume (or copy) it within the round.
+    (:func:`repro.nn.batched.per_group_gradients`).  The result is a
+    pooled buffer: valid until the next engine call with the same shape,
+    so consume (or copy) it within the round.
     """
     if not jobs:
         return np.zeros((0, params.size))
-    if epochs == 1 and all(job.schedule is None for job in jobs):
-        deltas = batched_gradients(model, task, params, jobs)
-        np.multiply(deltas, -lr, out=deltas)
-        return deltas
-    out = np.empty((len(jobs), params.size))
-    for indices in _size_buckets(jobs):
-        out[indices] = _train_bucket(
-            model, task, params, [jobs[i] for i in indices], lr, epochs
+    out = _pooled_matrix((len(jobs), params.size))
+    for start, stop in _micro_batches(len(jobs)):
+        _delta_chunk(
+            model, task, params, jobs[start:stop], lr, epochs, out[start:stop]
         )
     return out
 
@@ -267,14 +365,14 @@ def batched_clipped_local_deltas(
         return _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip)
 
 
-def _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip):
+def _clipped_chunk(model, task, params, jobs, lr, epochs, clip, out, factors):
+    """One micro-batch of clipped deltas into ``out``/``factors`` slices."""
     if epochs == 1 and all(job.schedule is None for job in jobs):
         local = model.clone()
         local.set_flat_params(params)
         loss = make_loss(task, local)
         x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
         y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
-        factors = np.empty(len(jobs))
 
         def clip_and_descend(grad_norms: np.ndarray) -> np.ndarray:
             # The delta of one full-batch step has norm lr * ||gradient||.
@@ -282,20 +380,41 @@ def _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip):
             factors[...] = f
             return -lr * f
 
-        clipped = per_group_gradients(
+        per_group_gradients(
             local,
             loss,
             x,
             y,
             [job.n for job in jobs],
-            out=_pooled_matrix((len(jobs), params.size)),
+            out=out,
             row_scale=clip_and_descend,
         )
-        return clipped, factors
-    deltas = batched_local_deltas(model, task, params, jobs, lr, epochs)
-    factors = clip_factor_rows(deltas, clip)
-    l2_clip_rows(deltas, clip, out=deltas, factors=factors)
-    return deltas, factors
+        return
+    deltas = np.empty((len(jobs), params.size))
+    for indices in _size_buckets(jobs):
+        deltas[indices] = _train_bucket(
+            model, task, params, [jobs[i] for i in indices], lr, epochs
+        )
+    factors[...] = clip_factor_rows(deltas, clip)
+    l2_clip_rows(deltas, clip, out=out, factors=factors)
+
+
+def _clipped_local_deltas(model, task, params, jobs, lr, epochs, clip):
+    out = _pooled_matrix((len(jobs), params.size))
+    factors = np.empty(len(jobs))
+    for start, stop in _micro_batches(len(jobs)):
+        _clipped_chunk(
+            model,
+            task,
+            params,
+            jobs[start:stop],
+            lr,
+            epochs,
+            clip,
+            out[start:stop],
+            factors[start:stop],
+        )
+    return out, factors
 
 
 def batched_gradients(
@@ -312,10 +431,11 @@ def batched_gradients(
     the same convention as the loop path.
 
     Because every job is evaluated at the *same* parameters, this runs
-    through the shared-weight engine: one unpadded forward/backward over
-    all records with per-group segmented parameter reductions.  The result
-    is a pooled buffer reused by the next engine call of the same shape --
-    consume (or copy) it within the round.
+    through the shared-weight engine: one unpadded forward/backward per
+    micro-batch over the chunk's records with per-group segmented
+    parameter reductions.  The result is a pooled buffer reused by the
+    next engine call of the same shape -- consume (or copy) it within the
+    round.
     """
     if not jobs:
         return np.zeros((0, params.size))
@@ -323,9 +443,279 @@ def batched_gradients(
         local = model.clone()
         local.set_flat_params(params)
         loss = make_loss(task, local)
-        x = np.concatenate([np.asarray(job.x, dtype=np.float64) for job in jobs])
-        y = np.concatenate([np.asarray(job.y, dtype=np.float64) for job in jobs])
         out = _pooled_matrix((len(jobs), params.size))
-        return per_group_gradients(
-            local, loss, x, y, [job.n for job in jobs], out=out
+        for start, stop in _micro_batches(len(jobs)):
+            chunk = jobs[start:stop]
+            x = np.concatenate([np.asarray(j.x, dtype=np.float64) for j in chunk])
+            y = np.concatenate([np.asarray(j.y, dtype=np.float64) for j in chunk])
+            per_group_gradients(
+                local, loss, x, y, [j.n for j in chunk], out=out[start:stop]
+            )
+        return out
+
+
+# -- sharded execution layer --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The ``[engine]`` section: how a round's job lists are executed.
+
+    ``workers=0`` (the default) runs shard tasks in-process; ``workers>=1``
+    ships them to a persistent ``ProcessPoolExecutor``.  Results are
+    bit-identical for every setting: the shard plan is a pure function of
+    the job lists and ``shard_size`` (never of ``workers``), shards are
+    micro-batch aligned, and partials combine through the exact binned
+    fold.  ``backend`` names the array namespace used for the weighted
+    partial-sum fold (:mod:`repro.nn.backend`).
+    """
+
+    workers: int = 0
+    shard_size: int = DEFAULT_SHARD_SIZE
+    backend: str = "numpy"
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"engine workers must be >= 0, got {self.workers}")
+        if self.shard_size < 1:
+            raise ValueError(
+                f"engine shard_size must be >= 1, got {self.shard_size}"
+            )
+        validate_backend(self.backend)
+
+    @property
+    def aligned_shard_size(self) -> int:
+        """``shard_size`` rounded up to a :data:`MICRO_BATCH` multiple.
+
+        Alignment is what keeps a shard's micro-batches identical to the
+        ones the unsharded path would form, so the effective shard size
+        is always a multiple of the numerical chunk.
+        """
+        chunks = -(-self.shard_size // MICRO_BATCH)
+        return chunks * MICRO_BATCH
+
+
+def plan_shards(n_jobs: int, shard_size: int) -> list[tuple[int, int]]:
+    """Deterministic, micro-batch-aligned ``[start, stop)`` shard spans.
+
+    A pure function of the job count and the (aligned) shard size -- in
+    particular *not* of the worker count, which only decides where each
+    shard runs.  The last shard may be smaller; a zero-job list plans no
+    shards.
+    """
+    size = max(MICRO_BATCH, -(-shard_size // MICRO_BATCH) * MICRO_BATCH)
+    return [(s, min(s + size, n_jobs)) for s in range(0, n_jobs, size)]
+
+
+def make_shard_task(
+    *,
+    mode: str,
+    model: Sequential,
+    task: str,
+    params: np.ndarray,
+    jobs,
+    weights: np.ndarray,
+    clip: float,
+    scale: float,
+    silo: int,
+    shard: int,
+    lr: float = 0.0,
+    epochs: int = 1,
+    backend: str = "numpy",
+) -> dict:
+    """A self-contained, picklable shard work unit for :func:`run_shard_task`.
+
+    ``jobs`` is either a list of :class:`LocalJob` (shipped inline) or a
+    loader descriptor ``{"loader": "pkg.mod:func", "spec": {...}}`` the
+    worker resolves and calls -- the lazy path, used when materialising
+    the shard's records in the parent would defeat the memory bound.
+    ``mode`` selects the per-chunk kernel: ``"delta"`` (clipped local
+    training deltas, ULDP-AVG) or ``"gradient"`` (negated clipped
+    gradients, ULDP-SGD).
+    """
+    if mode not in ("delta", "gradient"):
+        raise ValueError(f"shard mode must be 'delta' or 'gradient', got {mode!r}")
+    payload = (
+        {"kind": "loader", **jobs}
+        if isinstance(jobs, dict)
+        else {"kind": "inline", "jobs": list(jobs)}
+    )
+    return {
+        "mode": mode,
+        "model": model,
+        "task": task,
+        "params": params,
+        "jobs": payload,
+        "weights": np.ascontiguousarray(weights, dtype=np.float64),
+        "clip": float(clip),
+        "scale": float(scale),
+        "silo": int(silo),
+        "shard": int(shard),
+        "lr": float(lr),
+        "epochs": int(epochs),
+        "backend": backend,
+    }
+
+
+def _resolve_shard_jobs(payload: dict) -> list[LocalJob]:
+    """Materialise a task's job list (inline, or via its loader)."""
+    if payload["kind"] == "inline":
+        return payload["jobs"]
+    module_name, func_name = payload["loader"].split(":")
+    loader = getattr(importlib.import_module(module_name), func_name)
+    return loader(payload["spec"])
+
+
+def run_shard_task(task: dict) -> dict:
+    """Execute one shard: train its jobs micro-batch by micro-batch and
+    fold each chunk into a binned partial sum.
+
+    Top-level and dict-in/dict-out so it pickles cleanly into a
+    ``ProcessPoolExecutor`` (PR 2's kernel pattern).  The worker never
+    holds more than one ``(MICRO_BATCH, P)`` row block plus the
+    ``(bins, P)`` accumulator, which is what bounds resident memory per
+    process regardless of shard size.  Returns the accumulator state,
+    the per-job clip factors (``"delta"`` mode), and the kernel seconds
+    for the parent's shard span.
+    """
+    t0 = time.perf_counter()
+    backend = get_backend(task["backend"])
+    jobs = _resolve_shard_jobs(task["jobs"])
+    params = task["params"]
+    weights = task["weights"]
+    if len(weights) != len(jobs):
+        raise ValueError(
+            f"shard {task['shard']}: {len(weights)} weights for {len(jobs)} jobs"
         )
+    acc = BinnedSum(params.size, task["scale"])
+    factors = np.empty(len(jobs)) if task["mode"] == "delta" else None
+    for start, stop in _micro_batches(len(jobs)):
+        chunk = jobs[start:stop]
+        if task["mode"] == "delta":
+            rows, f = _clipped_local_deltas(
+                task["model"],
+                task["task"],
+                params,
+                chunk,
+                task["lr"],
+                task["epochs"],
+                task["clip"],
+            )
+            factors[start:stop] = f
+        else:
+            rows = batched_gradients(task["model"], task["task"], params, chunk)
+            np.negative(rows, out=rows)
+            l2_clip_rows(rows, task["clip"], out=rows)
+        acc.add(backend.weighted_sum(weights[start:stop], rows))
+    return {
+        "shard": task["shard"],
+        "silo": task["silo"],
+        "n_jobs": len(jobs),
+        "state": acc.state(),
+        "factors": factors,
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+def fold_weighted_rows(
+    acc: BinnedSum,
+    weights: np.ndarray,
+    rows: np.ndarray,
+    backend: ArrayBackend,
+) -> None:
+    """Fold ``weights @ rows`` into ``acc`` in the engine's micro-batches.
+
+    The server-side twin of :func:`run_shard_task`'s fold: aggregating an
+    already-materialised row matrix (the networked executor path) through
+    the same chunked weighted sums keeps its bits identical to the
+    streamed in-process path.
+    """
+    for start, stop in _micro_batches(len(rows)):
+        acc.add(backend.weighted_sum(weights[start:stop], rows[start:stop]))
+
+
+class ShardedEngine:
+    """Runs shard tasks in-process or on a persistent fork-based pool.
+
+    Owns no numerical policy: the shard *plan* (which jobs form which
+    shard) is fixed by :func:`plan_shards` and the caller's job order,
+    and every execution mode runs the same :func:`run_shard_task` kernel.
+    Results are returned in shard order -- the fixed reduction order --
+    and each shard gets a ``kind="shard"`` span plus an
+    ``engine_shard_seconds`` histogram observation.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def backend(self) -> ArrayBackend:
+        return get_backend(self.config.backend)
+
+    def scale(self, clip: float) -> float:
+        """The binned-fold magnitude bound for ``clip``-bounded rows."""
+        return fold_scale(clip, MICRO_BATCH)
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Prefer fork only where it is safe (Linux); macOS forks crash
+            # intermittently with threaded parents, hence CPython's own
+            # switch of the platform default to spawn.
+            mp_context = None
+            if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers, mp_context=mp_context
+            )
+        return self._executor
+
+    def run_tasks(self, tasks: list[dict]) -> list[dict]:
+        """Execute shard tasks, returning results in shard (plan) order."""
+        if not tasks:
+            return []
+        recorder = get_recorder()
+        shard_seconds = get_registry().histogram(
+            "engine_shard_seconds",
+            help="Kernel seconds per shard task of the sharded engine.",
+            unit="seconds",
+        )
+        results = []
+        if self.config.workers == 0:
+            for task in tasks:
+                with recorder.span(
+                    "shard",
+                    kind="shard",
+                    shard=task["shard"],
+                    silo=task["silo"],
+                ) as span:
+                    result = run_shard_task(task)
+                    span.set(jobs=result["n_jobs"], seconds=result["seconds"])
+                shard_seconds.observe(result["seconds"])
+                results.append(result)
+            return results
+        executor = self._get_executor()
+        futures = [executor.submit(run_shard_task, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            with recorder.span(
+                "shard", kind="shard", shard=task["shard"], silo=task["silo"]
+            ) as span:
+                result = future.result()
+                span.set(jobs=result["n_jobs"], seconds=result["seconds"])
+            shard_seconds.observe(result["seconds"])
+            results.append(result)
+        return results
+
+    def reduce(self, results: list[dict]) -> BinnedSum:
+        """Tree-reduce the shard partials (exact, so shape-independent)."""
+        return tree_reduce([BinnedSum.from_state(r["state"]) for r in results])
+
+    def close(self) -> None:
+        """Release the worker pool (safe to call repeatedly; the pool is
+        recreated lazily if the engine is used again)."""
+        if getattr(self, "_executor", None) is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __del__(self):
+        self.close()

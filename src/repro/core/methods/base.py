@@ -43,7 +43,9 @@ import numpy as np
 
 from repro.compress import CompressionSpec, UpdateCompressor
 from repro.core.engine import (
+    EngineConfig,
     LocalJob,
+    ShardedEngine,
     batched_gradients,
     batched_local_deltas,
     draw_minibatch_schedule,
@@ -112,6 +114,13 @@ class FLMethod(ABC):
         #: Set by :meth:`round`: wire bytes of the last round (None for
         #: methods that leave byte accounting to the trainer's default).
         self.last_comm: CommSummary | None = None
+        #: Execution layout of the vectorized path ([engine] section),
+        #: bound by :meth:`prepare`; the defaults run single-process.
+        self.engine_config = EngineConfig()
+        #: The sharded executor built from :attr:`engine_config`.  Owns
+        #: the worker pool when ``workers > 0``; results are bit-identical
+        #: for every (workers, shard_size) setting.
+        self.shard_engine = ShardedEngine(self.engine_config)
 
     def prepare(
         self,
@@ -119,17 +128,23 @@ class FLMethod(ABC):
         model: Sequential,
         rng: np.random.Generator,
         compression: CompressionSpec | None = None,
+        engine: EngineConfig | None = None,
     ) -> None:
         """Bind the method to a dataset and a model template.
 
         ``compression`` is the trainer-level override for this binding; it
         takes precedence over the method's own :attr:`compression` without
         mutating it (the effective spec lands in
-        :attr:`active_compression`).
+        :attr:`active_compression`).  ``engine`` configures the sharded
+        execution layout (None keeps the single-process defaults).
         """
         self.fed = fed
         self.model = model
         self.rng = rng
+        if engine is not None and engine != self.engine_config:
+            self.close()
+            self.engine_config = engine
+            self.shard_engine = ShardedEngine(engine)
         spec = compression if compression is not None else self.compression
         self.active_compression = spec
         self.compressor = None
@@ -163,6 +178,12 @@ class FLMethod(ABC):
     def epsilon(self, delta: float) -> float | None:
         """Cumulative user-level (eps, delta)-ULDP; None if non-private."""
         return None
+
+    def close(self) -> None:
+        """Release the sharded engine's worker pool (idempotent; the pool
+        is recreated lazily if the method keeps training afterwards)."""
+        if getattr(self, "shard_engine", None) is not None:
+            self.shard_engine.close()
 
     # -- shared helpers -----------------------------------------------------
 

@@ -30,8 +30,14 @@ import numpy as np
 from repro.accounting import PrivacyAccountant
 from repro.compress import CompressionSpec
 from repro.core.clipping import clip_factor, l2_clip
-from repro.core.engine import batched_clipped_local_deltas
+from repro.core.engine import (
+    batched_clipped_local_deltas,
+    fold_weighted_rows,
+    make_shard_task,
+    plan_shards,
+)
 from repro.core.methods.base import CommSummary, FLMethod, ParticipationSummary
+from repro.core.reduce import BinnedSum, tree_reduce
 from repro.core.weighting import (
     RoundParticipation,
     participation_weights,
@@ -75,6 +81,12 @@ class UldpAvg(FLMethod):
 
     name = "ULDP-AVG"
     supports_compression = True
+    #: Whether :meth:`round` may stream shard partial sums instead of
+    #: materialising per-user contribution dicts.  Subclasses that must
+    #: see each user's clipped delta (:class:`repro.protocol.SecureUldpAvg`
+    #: encrypts them individually) set this False and keep the
+    #: materialized path.
+    streaming_aggregation = True
 
     def __init__(
         self,
@@ -136,8 +148,8 @@ class UldpAvg(FLMethod):
     def display_name(self) -> str:
         return "ULDP-AVG-w" if self.weighting == "proportional" else "ULDP-AVG"
 
-    def prepare(self, fed, model, rng, compression=None) -> None:
-        super().prepare(fed, model, rng, compression=compression)
+    def prepare(self, fed, model, rng, compression=None, engine=None) -> None:
+        super().prepare(fed, model, rng, compression=compression, engine=engine)
         if self.weighting == "uniform":
             self.weights = uniform_weights(fed.n_silos, fed.n_users)
         else:
@@ -192,13 +204,18 @@ class UldpAvg(FLMethod):
             round_weights = base_weights
 
         try:
-            contributions, noises = self._compute_contributions(params, round_weights)
-            aggregate = self._aggregate(t, contributions, noises, round_weights)
+            if self._streaming_applies():
+                aggregate, users_seen = self._round_streamed(params, round_weights)
+            else:
+                contributions, noises = self._compute_contributions(
+                    params, round_weights
+                )
+                aggregate = self._aggregate(t, contributions, noises, round_weights)
+                users_seen = {u for per_user in contributions for u in per_user}
         finally:
             self._active_silo_mask = None
             self._noise_silos = None
 
-        users_seen = {u for per_user in contributions for u in per_user}
         self.last_participation = ParticipationSummary(
             silos_seen=fed.n_silos if participation is None
             else participation.n_active_silos,
@@ -232,6 +249,143 @@ class UldpAvg(FLMethod):
         self._round_uplink_bytes = None
         return params + update
 
+    def _streaming_applies(self) -> bool:
+        """Whether this round can stream shard partials.
+
+        The streamed path covers the in-process vectorized engine; the
+        loop engine stays the materialized differential-testing oracle,
+        a :attr:`contribution_executor` (networked rounds) already
+        streams per *silo* and aggregates through the matrix path of
+        :meth:`_aggregate` (which applies the identical binned fold), and
+        materializing subclasses opt out via
+        :attr:`streaming_aggregation`.
+        """
+        return (
+            self.streaming_aggregation
+            and self.engine == "vectorized"
+            and self.contribution_executor is None
+        )
+
+    def _noise_std(self) -> float:
+        """Per-silo noise std sqrt(sigma^2 C^2 / A) where A is the number
+        of noise-contributing silos (all of them outside the simulation):
+        summing A silo contributions yields aggregate noise std sigma * C,
+        matching the user-level sensitivity C at noise multiplier sigma."""
+        fed, _, _ = self._require_prepared()
+        noise_silos = (
+            self._noise_silos if self._noise_silos is not None else fed.n_silos
+        )
+        return float(self.noise_multiplier * self.clip / np.sqrt(noise_silos))
+
+    def _round_streamed(
+        self, params: np.ndarray, round_weights: np.ndarray
+    ) -> tuple[np.ndarray, set[int]]:
+        """One round through the sharded streaming path (Algorithm 3 with
+        the per-user matrix never materialised).
+
+        Each active silo's participating users are planned into
+        micro-batch-aligned shards (:func:`repro.core.engine.plan_shards`);
+        every shard task folds its clipped weighted rows into a binned
+        partial sum and only the ``(bins, P)`` states stream back, where
+        an exact tree-reduce combines them.  RNG discipline is the loop
+        path's: per active silo, first the job schedules, then the noise
+        vector -- drawn here in the parent before any shard executes, so
+        the random stream is invariant to ``workers``/``shard_size``.
+        """
+        fed, model, _ = self._require_prepared()
+        noise_std = self._noise_std()
+        engine = self.shard_engine
+        shard_size = engine.config.aligned_shard_size
+        scale = engine.scale(self.clip)
+        tasks: list[dict] = []
+        task_users: list[list[int]] = []
+        noises: list[np.ndarray] = []
+        active_silos: list[int] = []
+        users_seen: set[int] = set()
+        for s, silo in enumerate(fed.silos):
+            if self._active_silo_mask is not None and not self._active_silo_mask[s]:
+                continue
+            users = [int(u) for u in silo.users_present() if round_weights[s, u] != 0.0]
+            jobs = [
+                self._local_job(
+                    *silo.records_of_user(user), self.local_epochs, self.batch_size
+                )
+                for user in users
+            ]
+            noises.append(self._gaussian_noise(noise_std, params.size))
+            active_silos.append(s)
+            users_seen.update(users)
+            weights = np.array([round_weights[s, u] for u in users])
+            for a, b in plan_shards(len(jobs), shard_size):
+                tasks.append(
+                    make_shard_task(
+                        mode="delta",
+                        model=model,
+                        task=fed.task,
+                        params=params,
+                        jobs=jobs[a:b],
+                        weights=weights[a:b],
+                        clip=self.clip,
+                        scale=scale,
+                        silo=s,
+                        shard=len(tasks),
+                        lr=self.local_lr,
+                        epochs=self.local_epochs,
+                        backend=engine.config.backend,
+                    )
+                )
+                task_users.append(users[a:b])
+
+        results = engine.run_tasks(tasks)
+        if self.record_clip_stats:
+            factors = np.full((fed.n_silos, fed.n_users), np.nan)
+            for result, shard_users in zip(results, task_users):
+                factors[result["silo"], shard_users] = result["factors"]
+            self.clip_factor_history.append(factors)
+
+        comp = self.compressor
+        if comp is not None and not comp.spec.is_identity:
+            return (
+                self._streamed_compressed(params, noises, active_silos, results),
+                users_seen,
+            )
+        self._round_uplink_bytes = len(noises) * params.size * 8
+        aggregate = np.sum(noises, axis=0)
+        if results:
+            aggregate = aggregate + engine.reduce(results).total()
+        return aggregate, users_seen
+
+    def _streamed_compressed(
+        self,
+        params: np.ndarray,
+        noises: list[np.ndarray],
+        active_silos: list[int],
+        results: list[dict],
+    ) -> np.ndarray:
+        """Compressed uplink over streamed partials: each silo's *noisy*
+        payload is reconstituted from its own shards' binned states (one
+        rounding, same bits as the materialized per-silo matmul fold),
+        then routed through the compressor exactly as
+        :meth:`_aggregate_compressed` would."""
+        comp = self.compressor
+        assert comp is not None
+        per_silo: dict[int, list[dict]] = {}
+        for result in results:
+            per_silo.setdefault(result["silo"], []).append(result)
+        aggregate = np.zeros(params.size)
+        uplink = 0
+        for noise, s in zip(noises, active_silos):
+            payload = noise
+            shards = per_silo.get(s)
+            if shards:
+                acc = tree_reduce([BinnedSum.from_state(r["state"]) for r in shards])
+                payload = payload + acc.total()
+            sent = comp.compress_uplink(s, payload)
+            aggregate += sent.dense
+            uplink += sent.nbytes
+        self._round_uplink_bytes = uplink
+        return aggregate
+
     def _compute_contributions(
         self, params: np.ndarray, round_weights: np.ndarray
     ) -> tuple[list[dict[int, np.ndarray]], list[np.ndarray]]:
@@ -247,12 +401,7 @@ class UldpAvg(FLMethod):
         draw the same random stream and agree to floating-point precision.
         """
         fed, _, _ = self._require_prepared()
-        # Per-silo noise std sqrt(sigma^2 C^2 / A) where A is the number of
-        # noise-contributing silos (all of them outside the simulation):
-        # summing A silo contributions yields aggregate noise std sigma * C,
-        # matching the user-level sensitivity C at noise multiplier sigma.
-        noise_silos = self._noise_silos if self._noise_silos is not None else fed.n_silos
-        noise_std = self.noise_multiplier * self.clip / np.sqrt(noise_silos)
+        noise_std = self._noise_std()
         if self.contribution_executor is not None:
             if self.record_clip_stats:
                 raise NotImplementedError(
@@ -406,10 +555,25 @@ class UldpAvg(FLMethod):
         aggregate = np.sum(noises, axis=0)
         matrix = getattr(contributions, "matrix", None)
         if matrix is not None:
-            pairs = contributions.pairs
-            if pairs:
-                weights = np.array([round_weights[s, u] for s, u in pairs])
-                aggregate = aggregate + weights @ matrix
+            # Fold silo by silo through the engine's micro-batched binned
+            # sum -- the same chunk compositions and the same exact
+            # reduction the streamed path applies, which is what keeps a
+            # networked round (rows arriving through the contribution
+            # executor) bit-identical to the in-process streamed round.
+            if contributions.pairs:
+                acc = BinnedSum(aggregate.size, self.shard_engine.scale(self.clip))
+                backend = self.shard_engine.backend
+                row = 0
+                for s, per_user in enumerate(contributions):
+                    if per_user:
+                        weights = np.array(
+                            [round_weights[s, u] for u in per_user]
+                        )
+                        fold_weighted_rows(
+                            acc, weights, matrix[row : row + len(per_user)], backend
+                        )
+                    row += len(per_user)
+                aggregate = aggregate + acc.total()
             return aggregate
         # Loop-engine fallback: one weighted matmul per silo, bounding the
         # transient stack at the largest silo's contribution matrix.
@@ -453,10 +617,20 @@ class UldpAvg(FLMethod):
             if per_user:
                 weights = np.array([round_weights[s, user] for user in per_user])
                 if matrix is not None:
-                    rows = matrix[row : row + len(per_user)]
+                    # Same micro-batched binned fold as the streamed path,
+                    # so networked compressed rounds match in-process ones.
+                    acc = BinnedSum(
+                        payload.size, self.shard_engine.scale(self.clip)
+                    )
+                    fold_weighted_rows(
+                        acc,
+                        weights,
+                        matrix[row : row + len(per_user)],
+                        self.shard_engine.backend,
+                    )
+                    payload = payload + acc.total()
                 else:
-                    rows = np.stack(list(per_user.values()))
-                payload = payload + weights @ rows
+                    payload = payload + weights @ np.stack(list(per_user.values()))
             row += len(per_user)
             sent = comp.compress_uplink(s, payload)
             aggregate += sent.dense

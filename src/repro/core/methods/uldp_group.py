@@ -125,8 +125,8 @@ class UldpGroup(FLMethod):
         suffix = self.group_size if self.group_size is not None else self.group_size_policy
         return f"ULDP-GROUP-{suffix}"
 
-    def prepare(self, fed, model, rng, compression=None) -> None:
-        super().prepare(fed, model, rng, compression=compression)
+    def prepare(self, fed, model, rng, compression=None, engine=None) -> None:
+        super().prepare(fed, model, rng, compression=compression, engine=engine)
         self.group_size = resolve_group_size(fed, self.group_size_policy)
         self.flags = build_group_flags(fed, self.group_size)
         self.filtered = fed.apply_flags(self.flags)

@@ -14,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accounting import PrivacyAccountant
-from repro.core.clipping import l2_clip, l2_clip_rows
-from repro.core.engine import LocalJob
+from repro.core.clipping import l2_clip
+from repro.core.engine import LocalJob, make_shard_task, plan_shards
 from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.weighting import (
     RoundParticipation,
@@ -63,8 +63,8 @@ class UldpSgd(FLMethod):
     def display_name(self) -> str:
         return "ULDP-SGD-w" if self.weighting == "proportional" else "ULDP-SGD"
 
-    def prepare(self, fed, model, rng, compression=None) -> None:
-        super().prepare(fed, model, rng, compression=compression)
+    def prepare(self, fed, model, rng, compression=None, engine=None) -> None:
+        super().prepare(fed, model, rng, compression=compression, engine=engine)
         if self.weighting == "uniform":
             self.weights = uniform_weights(fed.n_silos, fed.n_users)
         else:
@@ -81,7 +81,7 @@ class UldpSgd(FLMethod):
         params: np.ndarray,
         participation: RoundParticipation | None = None,
     ) -> np.ndarray:
-        fed, _, rng = self._require_prepared()
+        fed, model, rng = self._require_prepared()
         assert self.weights is not None
         q = self.user_sample_rate
 
@@ -119,13 +119,19 @@ class UldpSgd(FLMethod):
         users_seen: set[int] = set()
         aggregate = np.zeros_like(params)
         if self.engine == "vectorized":
-            # One batched gradient pass over every (silo, user) pair; the
-            # gradient computation draws no randomness, so noise draws stay
-            # in the loop path's per-silo order.
-            jobs, weights = [], []
+            # Per-silo job lists planned into micro-batch-aligned shards;
+            # each shard's kernel computes the (negated, clipped) gradient
+            # rows and folds them into a binned partial sum, so no process
+            # holds the full per-user matrix.  Gradients draw no
+            # randomness, so noise draws stay in the loop path's per-silo
+            # order regardless of workers/shard_size.
+            engine = self.shard_engine
+            scale_bound = engine.scale(self.clip)
+            tasks = []
             for s, silo in enumerate(fed.silos):
                 if active_mask is not None and not active_mask[s]:
                     continue
+                jobs, weights = [], []
                 for user in silo.users_present():
                     w = round_weights[s, user]
                     if w == 0.0:
@@ -133,13 +139,25 @@ class UldpSgd(FLMethod):
                     jobs.append(LocalJob(*silo.records_of_user(int(user))))
                     weights.append(w)
                     users_seen.add(int(user))
-            if jobs:
-                grads = self._gradients_batched(params, jobs)
-                # Negated: the shared server update adds the aggregate, so
-                # clients ship descent directions.
-                np.negative(grads, out=grads)
-                clipped = l2_clip_rows(grads, self.clip, out=grads)
-                aggregate = aggregate + np.asarray(weights) @ clipped
+                for a, b in plan_shards(len(jobs), engine.config.aligned_shard_size):
+                    tasks.append(
+                        make_shard_task(
+                            mode="gradient",
+                            model=model,
+                            task=fed.task,
+                            params=params,
+                            jobs=jobs[a:b],
+                            weights=np.asarray(weights[a:b], dtype=np.float64),
+                            clip=self.clip,
+                            scale=scale_bound,
+                            silo=s,
+                            shard=len(tasks),
+                            backend=engine.config.backend,
+                        )
+                    )
+            results = engine.run_tasks(tasks)
+            if results:
+                aggregate = aggregate + engine.reduce(results).total()
             for s in range(fed.n_silos):
                 if active_mask is not None and not active_mask[s]:
                     continue

@@ -1,0 +1,178 @@
+"""Reproducible streaming reduction for sharded aggregation.
+
+The sharded engine streams per-shard partial aggregates back to the
+parent instead of materialising every participating user's row.  That
+only preserves the repo's bit-identity contract if the reduction is
+*partition independent*: summing shard partials in any grouping must
+give exactly the same float64 bits as the single-process path.  Plain
+float addition is not associative, so :class:`BinnedSum` implements the
+standard reproducible-summation construction (Demmel & Nguyen's binned
+accumulation, as in ReproBLAS): every addend is split exactly across a
+small ladder of fixed-granularity bins, bin accumulators only ever hold
+exact multiples of their granularity, and therefore every add and every
+merge is *exact* -- the one rounding step happens once, in a fixed
+order, in :meth:`total`.
+
+Why each step is exact (all bounds asserted at runtime):
+
+* extraction -- for a bin of granularity ``g`` the magic constant
+  ``M = 1.5 * 2**52 * g`` forces round-to-nearest at granularity ``g``:
+  ``q = (u + M) - M`` is ``u`` rounded to a multiple of ``g`` and the
+  residual ``u - q`` (``|u - q| <= g/2``) is computed exactly, because
+  ``q`` agrees with ``u`` in all bits at or above ``g``;
+* accumulation -- addends are bounded by ``scale``, so each bin holds a
+  multiple of its granularity below ``2**53 * g`` for up to ``2**28``
+  addends, and float addition of such pairs is exact;
+* merge -- two bin accumulators with the same ``scale`` share the same
+  granularity ladder, so merging is the same exact addition.
+
+``total`` rounds the bins from finest to coarsest, a fixed order, so
+the final bits are a pure function of the *multiset* of addends -- not
+of how they were sharded across workers or merged across the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BinnedSum", "fold_scale", "tree_reduce"]
+
+#: Bits of granularity separating adjacent bins.  24 leaves plenty of
+#: carry headroom in a float64 accumulator (53 - 24 - 1 = 28 bits).
+_BIN_WIDTH = 24
+
+#: Number of bins.  Five bins cover ``5 * 24 = 120`` bits below the
+#: scale bound -- anything smaller than ``scale * 2**-120`` is dropped,
+#: far below the 52 fractional bits a single float64 result can hold.
+_N_BINS = 5
+
+#: Maximum number of addends a bin accumulator absorbs exactly.
+_MAX_COUNT = 1 << (53 - _BIN_WIDTH - 1)
+
+
+def fold_scale(clip: float, chunk: int) -> float:
+    """Magnitude bound for one weighted micro-batch partial.
+
+    A partial is ``weights @ rows`` over at most ``chunk`` rows with
+    ``|weights| <= 1`` (the weighting invariant: per-user weights sum to
+    at most one across silos) and ``|rows[i, j]| <= clip`` (rows are
+    L2-clipped, so every coordinate is bounded by the clip norm).  The
+    bound is rounded up to a power of two so the bin granularities are
+    exact powers of two as well.
+    """
+    if not np.isfinite(clip) or clip <= 0.0:
+        raise ValueError(f"clip bound must be finite and positive, got {clip!r}")
+    bound = float(clip) * float(chunk)
+    return float(2.0 ** np.ceil(np.log2(bound)))
+
+
+class BinnedSum:
+    """Order- and partition-independent float64 vector accumulator.
+
+    Addends must be bounded by ``scale`` in magnitude; the bound is
+    checked on every :meth:`add` because exactness (and hence the
+    engine's bit-identity guarantee) depends on it.
+    """
+
+    __slots__ = ("size", "scale", "count", "_bins", "_grains", "_magic")
+
+    def __init__(self, size: int, scale: float):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if not np.isfinite(scale) or scale <= 0.0:
+            raise ValueError(f"scale must be finite and positive, got {scale!r}")
+        self.size = int(size)
+        self.scale = float(scale)
+        self.count = 0
+        self._bins = np.zeros((_N_BINS, self.size))
+        # Granularity ladder: bin k rounds at scale * 2**(-24 * (k + 1)).
+        self._grains = self.scale * 2.0 ** (
+            -_BIN_WIDTH * (np.arange(_N_BINS, dtype=np.float64) + 1.0)
+        )
+        self._magic = 1.5 * 2.0**52 * self._grains
+
+    def add(self, vec: np.ndarray) -> None:
+        """Fold one float64 vector (``|vec| <= scale`` elementwise) in."""
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.shape != (self.size,):
+            raise ValueError(f"expected shape ({self.size},), got {vec.shape}")
+        peak = float(np.max(np.abs(vec), initial=0.0))
+        if not peak <= self.scale:  # also rejects NaN
+            raise ValueError(
+                f"addend magnitude {peak!r} exceeds the scale bound "
+                f"{self.scale!r}; the binned sum would no longer be exact"
+            )
+        if self.count >= _MAX_COUNT:
+            raise OverflowError(
+                f"binned accumulator absorbed {self.count} addends; beyond "
+                f"{_MAX_COUNT} the bins can overflow their exact range"
+            )
+        residual = vec.copy()
+        for k in range(_N_BINS):
+            magic = self._magic[k]
+            quantum = (residual + magic) - magic
+            self._bins[k] += quantum
+            residual -= quantum
+        self.count += 1
+
+    def merge(self, other: "BinnedSum") -> None:
+        """Absorb another accumulator (exact, so merge order never matters)."""
+        if other.size != self.size or other.scale != self.scale:
+            raise ValueError(
+                "cannot merge binned sums with different geometry: "
+                f"({self.size}, {self.scale!r}) vs ({other.size}, {other.scale!r})"
+            )
+        if self.count + other.count > _MAX_COUNT:
+            raise OverflowError("merged binned accumulator would overflow")
+        self._bins += other._bins
+        self.count += other.count
+
+    def total(self) -> np.ndarray:
+        """Round the bins to one float64 vector, finest bin first."""
+        out = np.zeros(self.size)
+        for k in range(_N_BINS - 1, -1, -1):
+            out += self._bins[k]
+        return out
+
+    def state(self) -> dict:
+        """Picklable snapshot for shipping across process boundaries."""
+        return {
+            "size": self.size,
+            "scale": self.scale,
+            "count": self.count,
+            "bins": self._bins,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BinnedSum":
+        acc = cls(state["size"], state["scale"])
+        acc.count = int(state["count"])
+        bins = np.asarray(state["bins"], dtype=np.float64)
+        if bins.shape != acc._bins.shape:
+            raise ValueError(
+                f"bin state shape {bins.shape} does not match {acc._bins.shape}"
+            )
+        acc._bins[...] = bins
+        return acc
+
+
+def tree_reduce(accumulators: list[BinnedSum]) -> BinnedSum:
+    """Pairwise-merge accumulators so no step holds more than two states.
+
+    Merges are exact, so any reduction shape gives identical bits; the
+    balanced tree keeps the depth logarithmic, which is what lets a
+    parent combine streamed shard partials without ever materialising
+    the full per-user matrix alongside them.
+    """
+    if not accumulators:
+        raise ValueError("tree_reduce needs at least one accumulator")
+    level = list(accumulators)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            level[i].merge(level[i + 1])
+            nxt.append(level[i])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

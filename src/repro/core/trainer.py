@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compress import CompressionSpec
+from repro.core.engine import EngineConfig
 from repro.core.methods.base import FLMethod, ParticipationSummary
 from repro.core.metrics import evaluate_model, metric_name
 from repro.core.weighting import RoundParticipation
@@ -188,6 +189,7 @@ class Trainer:
         seed: int = 0,
         eval_every: int = 1,
         compression: CompressionSpec | None = None,
+        engine: EngineConfig | None = None,
     ):
         if rounds < 1:
             raise ValueError("need at least one round")
@@ -206,7 +208,12 @@ class Trainer:
         # binding only -- passed explicitly so the method object itself is
         # never mutated (a method reused across trainers must not inherit
         # an earlier trainer's compression).
-        method.prepare(fed, self.model, self.rng, compression=compression)
+        # ``engine`` configures the sharded execution layout; results are
+        # bit-identical for every (workers, shard_size) setting, so this
+        # is a pure performance/memory knob.
+        method.prepare(
+            fed, self.model, self.rng, compression=compression, engine=engine
+        )
         label = getattr(method, "display_name", method.name)
         self.history = TrainingHistory(method=label, dataset=fed.name)
         self._params: np.ndarray = self.model.get_flat_params()
@@ -388,7 +395,15 @@ class Trainer:
         return record
 
     def run(self) -> TrainingHistory:
-        """Run all remaining rounds; returns the metric/epsilon history."""
-        while not self.done:
-            self.step()
+        """Run all remaining rounds; returns the metric/epsilon history.
+
+        Releases the method's sharded-engine worker pool on the way out
+        (harmless for the single-process default; the pool is recreated
+        lazily if the method is stepped again afterwards).
+        """
+        try:
+            while not self.done:
+                self.step()
+        finally:
+            self.method.close()
         return self.history

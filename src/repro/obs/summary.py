@@ -10,6 +10,10 @@ append-only span stream written by
   phases such as ``ping`` and ``collect_contributions``);
 - **per silo** -- contribution count, total compute seconds, bytes both
   ways, and the tightest deadline margin observed;
+- **per shard** -- for runs on the sharded engine (``[engine]`` in the
+  spec), each silo's shard-task count, job total, and kernel seconds
+  (the worker-side compute time, as opposed to the span's wall time
+  which includes executor queueing);
 - **slowest spans** and **fault events** -- where to look first when a
   run misbehaves.
 
@@ -76,6 +80,9 @@ def summarize(records: list[dict]) -> dict:
         "count": 0, "seconds": 0.0, "uplink_bytes": 0, "downlink_bytes": 0,
         "min_deadline_margin": None,
     })
+    shards: dict[str, dict] = defaultdict(lambda: {
+        "count": 0, "jobs": 0, "seconds": 0.0, "max": 0.0,
+    })
     spans: list[dict] = []
     faults: list[dict] = []
     meta = records[0] if records and records[0].get("kind") == "meta" else {}
@@ -122,6 +129,16 @@ def summarize(records: list[dict]) -> dict:
                 prev = entry["min_deadline_margin"]
                 entry["min_deadline_margin"] = (
                     margin if prev is None else min(prev, margin))
+        elif kind == "shard":
+            entry = shards[str(attrs.get("silo", "?"))]
+            # ``seconds`` is the kernel time measured inside the worker;
+            # the span's ``dur`` also counts executor queueing and result
+            # pickling, so the attr is the honest compute number.
+            seconds = float(attrs.get("seconds") or rec.get("dur", 0.0))
+            entry["count"] += 1
+            entry["jobs"] += int(attrs.get("jobs") or 0)
+            entry["seconds"] += seconds
+            entry["max"] = max(entry["max"], seconds)
 
     return {
         "meta": meta,
@@ -129,6 +146,7 @@ def summarize(records: list[dict]) -> dict:
         "phases": dict(sorted(phases.items(),
                               key=lambda kv: -kv[1]["total"])),
         "silos": dict(sorted(silos.items())),
+        "shards": dict(sorted(shards.items())),
         "spans": spans,
         "faults": faults,
     }
@@ -213,6 +231,20 @@ def render_summary(records: list[dict], slowest: int = 5) -> str:
         out.extend(_table(
             ["silo", "spans", "seconds", "uplink", "downlink",
              "min margin"], rows))
+
+    if s["shards"]:
+        out.append("")
+        out.append("per shard (sharded engine)")
+        rows = [
+            [silo, str(e["count"]), str(e["jobs"]),
+             f"{e['seconds']:.3f}",
+             f"{e['seconds'] / e['count']:.4f}" if e["count"] else "-",
+             f"{e['max']:.4f}"]
+            for silo, e in s["shards"].items()
+        ]
+        out.extend(_table(
+            ["silo", "shards", "jobs", "kernel s", "mean s", "max s"],
+            rows))
 
     ranked = sorted(s["spans"], key=lambda r: -r.get("dur", 0.0))[:slowest]
     if ranked:

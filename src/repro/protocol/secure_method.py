@@ -32,6 +32,11 @@ from repro.protocol.runner import PrivateWeightingProtocol
 class SecureUldpAvg(UldpAvg):
     """ULDP-AVG-w whose aggregation is the real Protocol 1.
 
+    The cryptographic protocols encrypt (or mask) each user's clipped
+    delta individually, so this subclass keeps the materialized per-user
+    contribution path instead of the plaintext streaming aggregation
+    (``streaming_aggregation = False``).
+
     ``private_subsampling_slots = P`` enables OT-based user-level
     sub-sampling at rate q = 1/P where *neither the server nor the silos*
     learn the per-round outcome (mutually exclusive with
@@ -68,6 +73,10 @@ class SecureUldpAvg(UldpAvg):
     """
 
     name = "ULDP-AVG-w (secure)"
+    #: Protocol 1 consumes per-user contribution dicts (each user's delta
+    #: is encrypted/masked individually), so the streamed shard-partial
+    #: path cannot apply.
+    streaming_aggregation = False
 
     def __init__(
         self,
@@ -166,10 +175,10 @@ class SecureUldpAvg(UldpAvg):
                 "implemented for the secure path"
             )
 
-    def prepare(self, fed, model, rng, compression=None) -> None:
+    def prepare(self, fed, model, rng, compression=None, engine=None) -> None:
         effective = compression if compression is not None else self.compression
         self._validate_compression(effective)
-        super().prepare(fed, model, rng, compression=compression)
+        super().prepare(fed, model, rng, compression=compression, engine=engine)
         n_max = max(self.n_max, int(fed.user_totals().max(initial=1)))
         if self.crypto_backend == "masked":
             self.masked_protocol = MaskedAggregationProtocol(

@@ -13,6 +13,13 @@ through :meth:`ShardedUserPopulation.apply_churn`; the per-shard active
 counters make global statistics O(#shards).  Checkpointing serialises only
 the materialised shards (:meth:`state_dict` / :meth:`load_state`), so a
 resumed simulation sees bit-identical population state.
+
+The population also feeds the sharded training engine directly:
+:meth:`ShardedUserPopulation.shard_job_source` packages a slice of sampled
+user ids into a *loader descriptor* -- record counts plus a reference to
+:func:`materialise_shard_jobs` -- so each worker process synthesises only
+its own shard's records (deterministic in ``(data_seed, user_id)``) and the
+parent never holds the full training set.  See docs/scaleout.md.
 """
 
 from __future__ import annotations
@@ -210,6 +217,55 @@ class ShardedUserPopulation:
             pos += hi - lo
         return out
 
+    def record_counts_for(self, user_ids) -> np.ndarray:
+        """Record counts for *scattered* user ids (materialises their shards).
+
+        The range form :meth:`record_counts` suits dense scans; this one
+        serves sampled-user workflows (``sample_users`` returns sorted but
+        non-contiguous ids) and touches only the shards the ids land in.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_users):
+            raise ValueError("user id out of bounds")
+        out = np.empty(ids.shape, dtype=np.int64)
+        shards = ids // self.shard_size
+        for shard in np.unique(shards):
+            self._materialise(int(shard))
+            records = self._records[int(shard)]
+            assert records is not None
+            mask = shards == shard
+            start, _ = self._shard_bounds(int(shard))
+            out[mask] = records[ids[mask] - start]
+        return out
+
+    def shard_job_source(
+        self,
+        user_ids,
+        data_seed: int,
+        n_features: int,
+        min_records: int = 1,
+    ) -> dict:
+        """A loader descriptor for :func:`repro.core.engine.make_shard_task`.
+
+        Instead of shipping materialised :class:`~repro.core.engine.LocalJob`
+        lists to the workers (which would put every sampled user's records in
+        the parent at once), the task carries this descriptor and each worker
+        calls :func:`materialise_shard_jobs` on its own slice.  Record counts
+        come from the population's Zipf allocation, floored at
+        ``min_records`` so every sampled user trains on something.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        counts = np.maximum(self.record_counts_for(ids), int(min_records))
+        return {
+            "loader": "repro.sim.population:materialise_shard_jobs",
+            "spec": {
+                "user_ids": ids,
+                "record_counts": counts,
+                "data_seed": int(data_seed),
+                "n_features": int(n_features),
+            },
+        }
+
     def apply_churn(
         self,
         rng: np.random.Generator,
@@ -345,3 +401,37 @@ class ShardedUserPopulation:
             active[:] = np.asarray(payload["active"], dtype=np.bool_)
             records[:] = np.asarray(payload["records"], dtype=np.int64)
             self._active_counts[shard] = int(active.sum())
+
+
+# -- worker-side job materialisation ------------------------------------------
+
+
+def materialise_shard_jobs(spec: dict) -> list:
+    """Synthesise one shard's :class:`~repro.core.engine.LocalJob` list.
+
+    Runs *inside the worker process* (resolved by the engine's loader
+    hook), so only this shard's records are ever resident there.  Each
+    user's dataset is deterministic in ``(data_seed, user_id)`` alone --
+    a logistic task on standard-normal features with a per-user ground
+    -truth direction -- so shard composition, worker count, and
+    materialisation order never change a user's records.
+    """
+    from repro.core.engine import LocalJob
+
+    ids = np.asarray(spec["user_ids"], dtype=np.int64)
+    counts = np.asarray(spec["record_counts"], dtype=np.int64)
+    if ids.shape != counts.shape:
+        raise ValueError("user_ids and record_counts must align")
+    if counts.size and counts.min() < 1:
+        raise ValueError("every sampled user needs at least one record")
+    data_seed = int(spec["data_seed"])
+    n_features = int(spec["n_features"])
+    jobs = []
+    for uid, n in zip(ids, counts):
+        rng = np.random.default_rng([data_seed, int(uid)])
+        x = rng.standard_normal((int(n), n_features))
+        truth = rng.standard_normal(n_features) / np.sqrt(n_features)
+        p = 1.0 / (1.0 + np.exp(-(x @ truth)))
+        y = (rng.random(int(n)) < p).astype(np.float64)
+        jobs.append(LocalJob(x=x, y=y))
+    return jobs

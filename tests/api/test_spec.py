@@ -215,3 +215,56 @@ class TestSweepExpansion:
         spec = RunSpec.from_dict({"sweep": {"method.sigma": [1.0, -2.0]}})
         with pytest.raises(SpecError, match="sigma"):
             expand_sweep(spec)
+
+
+class TestEngineSection:
+    def test_defaults(self):
+        spec = RunSpec.from_dict({"engine": {}})
+        assert spec.engine.workers == 0
+        assert spec.engine.shard_size == 4096
+        assert spec.engine.backend == "numpy"
+
+    def test_absent_by_default(self):
+        assert RunSpec.from_dict({}).engine is None
+
+    def test_round_trip(self):
+        spec = RunSpec.from_dict(
+            {"engine": {"workers": 4, "shard_size": 256, "backend": "numpy"}}
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["engine"]["workers"] == 4
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="workers"):
+            RunSpec.from_dict({"engine": {"workers": -1}})
+        with pytest.raises(SpecError, match="shard_size"):
+            RunSpec.from_dict({"engine": {"shard_size": 0}})
+        with pytest.raises(SpecError, match="backend"):
+            RunSpec.from_dict({"engine": {"backend": "jax"}})
+        with pytest.raises(SpecError, match="boolean"):
+            RunSpec.from_dict({"engine": {"workers": True}})
+
+    def test_conflicts_with_sim(self):
+        with pytest.raises(SpecError, match="engine.*\\[sim\\]"):
+            RunSpec.from_dict({
+                "sim": {"scenario": "silo-outage"},
+                "engine": {"workers": 2},
+            })
+
+    def test_override_creates_section(self):
+        tree = apply_overrides({}, {"engine.workers": 4})
+        spec = RunSpec.from_dict(tree)
+        assert spec.engine.workers == 4
+
+    def test_parse_assignment(self):
+        assert parse_assignment("engine.shard_size=256") == (
+            "engine.shard_size", 256,
+        )
+
+    def test_engine_changes_hash(self):
+        # [engine] names the execution plan, so unlike [obs] it is part
+        # of the run's identity hash -- but never of its results (see
+        # tests/core/test_engine_determinism.py).
+        base = RunSpec.from_dict({})
+        sharded = RunSpec.from_dict({"engine": {"workers": 2}})
+        assert base.hash() != sharded.hash()

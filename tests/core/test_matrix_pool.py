@@ -1,0 +1,62 @@
+"""_MatrixPool: the bounded, per-process buffer pool behind the engine.
+
+Regression tests for the two failure modes of the old module-global
+dict: unbounded growth when one process runs many differently-shaped
+training jobs, and fork-inherited buffers being shared (and scribbled
+on) across processes.
+"""
+
+import numpy as np
+
+from repro.core.engine import _MatrixPool, _pooled_matrix
+
+
+class TestBounding:
+    def test_reuses_same_shape(self):
+        pool = _MatrixPool()
+        a = pool.get((4, 7))
+        b = pool.get((4, 7))
+        assert a is b
+
+    def test_lru_bound(self):
+        pool = _MatrixPool()
+        for i in range(pool.MAX_ENTRIES + 5):
+            pool.get((i + 1, 3))
+        assert len(pool) == pool.MAX_ENTRIES
+
+    def test_lru_evicts_oldest(self):
+        pool = _MatrixPool()
+        first = pool.get((1, 3))
+        for i in range(pool.MAX_ENTRIES):
+            pool.get((i + 2, 3))
+        # (1, 3) was the least recently used entry, so it was evicted and
+        # a fresh buffer is allocated on re-request.
+        again = pool.get((1, 3))
+        assert again is not first
+
+    def test_touch_refreshes_recency(self):
+        pool = _MatrixPool()
+        first = pool.get((1, 3))
+        for i in range(pool.MAX_ENTRIES - 1):
+            pool.get((i + 2, 3))
+        pool.get((1, 3))  # refresh: now (2, 3) is the oldest
+        pool.get((99, 3))  # evicts (2, 3), not (1, 3)
+        assert pool.get((1, 3)) is first
+
+
+class TestProcessKeying:
+    def test_pid_change_resets(self):
+        pool = _MatrixPool()
+        inherited = pool.get((4, 7))
+        # Simulate a fork: the child sees the parent's buffers but a
+        # different os.getpid(); first touch must discard them.
+        pool._pid = (pool._pid or 0) - 1
+        fresh = pool.get((4, 7))
+        assert fresh is not inherited
+        assert len(pool) == 1
+
+
+def test_pooled_matrix_shape_and_dtype():
+    out = _pooled_matrix((5, 11))
+    assert out.shape == (5, 11) and out.dtype == np.float64
+    assert _pooled_matrix((5, 11)) is out

@@ -1,0 +1,127 @@
+"""BinnedSum: the partition- and order-independent reduction.
+
+The sharded engine's bit-identity claim rests entirely on these
+properties: folding the same micro-batch partials in any grouping, any
+order, through any merge tree must give byte-identical bins (and hence
+a byte-identical ``total()``).  Plain float addition does not have this
+property (OpenBLAS/numpy sums are composition-dependent at ULP level),
+which is why the accumulator exists.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reduce import BinnedSum, fold_scale, tree_reduce
+
+
+def _partials(rng, n=64, size=33, scale=8.0):
+    """Adversarial addends: wide dynamic range, mixed signs, near-scale."""
+    mags = np.exp(rng.uniform(np.log(1e-12), np.log(scale * 0.99), (n, size)))
+    return mags * rng.choice([-1.0, 1.0], size=(n, size))
+
+
+def _fold(vectors, scale):
+    acc = BinnedSum(vectors[0].size, scale)
+    for v in vectors:
+        acc.add(v)
+    return acc
+
+
+class TestPartitionIndependence:
+    def test_split_invariance(self):
+        rng = np.random.default_rng(0)
+        vs = list(_partials(rng))
+        whole = _fold(vs, 8.0).total()
+        for parts in (1, 2, 3, 7, len(vs)):
+            bounds = np.linspace(0, len(vs), parts + 1).astype(int)
+            accs = [_fold(vs[a:b], 8.0) for a, b in zip(bounds, bounds[1:]) if b > a]
+            assert tree_reduce(accs).total().tobytes() == whole.tobytes()
+
+    def test_order_invariance(self):
+        rng = np.random.default_rng(1)
+        vs = list(_partials(rng))
+        whole = _fold(vs, 8.0).total()
+        for seed in range(3):
+            perm = np.random.default_rng(seed).permutation(len(vs))
+            assert _fold([vs[i] for i in perm], 8.0).total().tobytes() == whole.tobytes()
+
+    def test_merge_order_invariance(self):
+        rng = np.random.default_rng(2)
+        vs = list(_partials(rng, n=24))
+        accs = [_fold(vs[i : i + 3], 8.0) for i in range(0, 24, 3)]
+        left = accs[0]
+        for a in accs[1:]:
+            left.merge(a)
+        fresh = [_fold(vs[i : i + 3], 8.0) for i in range(0, 24, 3)]
+        assert tree_reduce(list(reversed(fresh))).total().tobytes() == left.total().tobytes()
+
+    def test_accuracy_vs_fsum(self):
+        rng = np.random.default_rng(3)
+        vs = _partials(rng, n=200, size=5)
+        total = _fold(list(vs), 8.0).total()
+        exact = np.array([math.fsum(vs[:, j]) for j in range(5)])
+        assert np.array_equal(total, exact)
+
+
+class TestGuards:
+    def test_scale_guard(self):
+        acc = BinnedSum(3, 4.0)
+        with pytest.raises(ValueError, match="magnitude"):
+            acc.add(np.array([0.0, 5.0, 0.0]))
+
+    def test_nan_rejected(self):
+        acc = BinnedSum(2, 4.0)
+        with pytest.raises(ValueError):
+            acc.add(np.array([np.nan, 0.0]))
+
+    def test_shape_guard(self):
+        acc = BinnedSum(3, 4.0)
+        with pytest.raises(ValueError):
+            acc.add(np.zeros(4))
+
+    def test_geometry_mismatch_on_merge(self):
+        a, b = BinnedSum(3, 4.0), BinnedSum(3, 8.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_scale_positive_finite(self):
+        for bad in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                BinnedSum(3, bad)
+
+
+class TestStateRoundTrip:
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(4)
+        acc = _fold(list(_partials(rng, n=10)), 8.0)
+        clone = BinnedSum.from_state(acc.state())
+        assert clone.total().tobytes() == acc.total().tobytes()
+        extra = _partials(rng, n=1)[0]
+        acc.add(extra)
+        clone.add(extra)
+        assert clone.total().tobytes() == acc.total().tobytes()
+
+    def test_merge_counts(self):
+        rng = np.random.default_rng(5)
+        a = _fold(list(_partials(rng, n=4)), 8.0)
+        b = _fold(list(_partials(rng, n=6)), 8.0)
+        a.merge(b)
+        assert a.count == 10
+
+
+def test_fold_scale_covers_weighted_chunk():
+    # The fold bound: a chunk GEMV of `chunk` clipped rows with weights
+    # <= 1 has coordinates at most clip * chunk, and fold_scale rounds
+    # that up to a power of two.
+    s = fold_scale(1.0, 128)
+    assert s >= 128.0 and math.log2(s).is_integer()
+    assert fold_scale(0.3, 128) >= 0.3 * 128
+    assert math.log2(fold_scale(0.3, 128)).is_integer()
+
+
+def test_tree_reduce_single():
+    rng = np.random.default_rng(6)
+    acc = _fold(list(_partials(rng, n=3)), 8.0)
+    assert tree_reduce([acc]) is acc

@@ -29,6 +29,10 @@ def trace_path(tmp_path):
                                       downlink_bytes=200 + silo,
                                       deadline_margin=5.0 - t - silo):
                             pass
+                for shard, silo in ((0, 0), (1, 0), (2, 1)):
+                    with rec.span("shard", kind="shard", shard=shard,
+                                  silo=silo) as shard_span:
+                        shard_span.set(jobs=4 + shard, seconds=0.01 * (shard + 1))
                 round_span.set(seconds=0.5, silos_seen=2, users_seen=10,
                                uplink_bytes=201, downlink_bytes=401)
         rec.event("silo_fault", round=2, silo=1, reason="timeout")
@@ -94,6 +98,18 @@ class TestSummarize:
         # Tightest margin: round 2, silo 1 -> 5 - 2 - 1 = 2.
         assert silo1["min_deadline_margin"] == pytest.approx(2.0)
 
+    def test_shards_view(self, trace_path):
+        s = summarize(load_trace(trace_path))
+        assert sorted(s["shards"]) == ["0", "1"]
+        silo0 = s["shards"]["0"]
+        assert silo0["count"] == 4  # shards 0 and 1, both rounds
+        assert silo0["jobs"] == 2 * (4 + 5)
+        # kernel seconds come from the span's `seconds` attr (worker
+        # compute), not `dur` (parent wall time incl. queueing).
+        assert silo0["seconds"] == pytest.approx(2 * (0.01 + 0.02))
+        assert silo0["max"] == pytest.approx(0.02)
+        assert s["shards"]["1"]["jobs"] == 2 * 6
+
     def test_faults_view(self, trace_path):
         s = summarize(load_trace(trace_path))
         (fault,) = s["faults"]
@@ -119,9 +135,18 @@ class TestRenderSummary:
         assert "per round" in text
         assert "per phase" in text
         assert "per silo" in text
+        assert "per shard (sharded engine)" in text
         assert "slowest" in text
         assert "fault events" in text
         assert "silo_fault" in text
+
+    def test_shard_table_absent_for_unsharded_runs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rec = JsonlTraceRecorder(path)
+        with rec.span("round", kind="round", round=1):
+            pass
+        rec.close()
+        assert "per shard" not in render_summary(load_trace(path))
 
     def test_slowest_limit_respected(self, trace_path):
         text = render_summary(load_trace(trace_path), slowest=2)

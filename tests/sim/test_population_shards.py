@@ -1,0 +1,174 @@
+"""Shard-boundary edges of the population -> sharded-engine feed.
+
+Satellite suite for the sharded execution layer: the loader-descriptor
+path (:meth:`ShardedUserPopulation.shard_job_source` resolved by
+:func:`repro.sim.population.materialise_shard_jobs` inside workers)
+must be bit-for-bit identical to materialising every job inline in one
+unsharded call -- including at the awkward boundaries: a last shard
+smaller than the rest, a shard left with zero participants after
+churn, and the single-shard degenerate case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    MICRO_BATCH,
+    EngineConfig,
+    ShardedEngine,
+    make_shard_task,
+    plan_shards,
+)
+from repro.core.reduce import fold_scale
+from repro.nn import build_logistic
+from repro.sim.population import ShardedUserPopulation, materialise_shard_jobs
+
+N_FEATURES = 6
+DATA_SEED = 11
+
+
+@pytest.fixture()
+def model():
+    return build_logistic(np.random.default_rng(1), in_features=N_FEATURES)
+
+
+def _reduce_ids(pop, ids, model, shard_size, workers=0):
+    """Aggregate `ids` through loader-descriptor shard tasks."""
+    params = model.get_flat_params()
+    weights = np.full(len(ids), 1.0 / max(1, len(ids)))
+    scale = fold_scale(1.0, MICRO_BATCH)
+    tasks = []
+    for i, (a, b) in enumerate(plan_shards(len(ids), shard_size)):
+        tasks.append(
+            make_shard_task(
+                mode="delta",
+                model=model,
+                task="binary",
+                params=params,
+                jobs=pop.shard_job_source(ids[a:b], DATA_SEED, N_FEATURES),
+                weights=weights[a:b],
+                clip=1.0,
+                scale=scale,
+                silo=0,
+                shard=i,
+                lr=0.05,
+                epochs=1,
+            )
+        )
+    engine = ShardedEngine(EngineConfig(workers=workers, shard_size=shard_size))
+    try:
+        results = engine.run_tasks(tasks)
+        if not results:
+            return np.zeros(params.size)
+        return engine.reduce(results).total()
+    finally:
+        engine.close()
+
+
+def _reduce_inline(pop, ids, model):
+    """Oracle: materialise every job in the parent, single shard."""
+    params = model.get_flat_params()
+    weights = np.full(len(ids), 1.0 / max(1, len(ids)))
+    jobs = materialise_shard_jobs(
+        pop.shard_job_source(ids, DATA_SEED, N_FEATURES)["spec"]
+    )
+    if not jobs:
+        return np.zeros(params.size)
+    task = make_shard_task(
+        mode="delta", model=model, task="binary", params=params, jobs=jobs,
+        weights=weights, clip=1.0, scale=fold_scale(1.0, MICRO_BATCH),
+        silo=0, shard=0, lr=0.05, epochs=1,
+    )
+    engine = ShardedEngine(EngineConfig(workers=0))
+    try:
+        return engine.reduce(engine.run_tasks([task])).total()
+    finally:
+        engine.close()
+
+
+class TestShardBoundaries:
+    def test_last_shard_smaller(self, model):
+        # 300 sampled users at shard_size 128 -> shards of 128/128/44.
+        pop = ShardedUserPopulation(n_users=2_000, seed=7)
+        ids = pop.sample_users(np.random.default_rng(0), 300)
+        sharded = _reduce_ids(pop, ids, model, shard_size=MICRO_BATCH)
+        assert sharded.tobytes() == _reduce_inline(pop, ids, model).tobytes()
+
+    def test_single_shard_degenerate(self, model):
+        # Everything fits one shard: the plan is a single span and the
+        # reduction tree is a leaf.
+        pop = ShardedUserPopulation(n_users=500, seed=7)
+        ids = pop.sample_users(np.random.default_rng(0), 60)
+        sharded = _reduce_ids(pop, ids, model, shard_size=8 * MICRO_BATCH)
+        assert sharded.tobytes() == _reduce_inline(pop, ids, model).tobytes()
+
+    def test_zero_participant_shard_after_churn(self, model):
+        # Depart every user of the population's second shard; sampling
+        # then yields ids that skip it entirely, and the engine plan
+        # (over *sampled* users) must not care.
+        pop = ShardedUserPopulation(n_users=512, shard_size=128, seed=7)
+        mask = pop.active_mask()
+        second = np.arange(128, 256)
+        pop._materialise(1)
+        pop._active[1][:] = False
+        pop._active_counts[1] = 0
+        ids = pop.sample_users(np.random.default_rng(0), 200)
+        assert not np.intersect1d(ids, second).size
+        sharded = _reduce_ids(pop, ids, model, shard_size=MICRO_BATCH)
+        assert sharded.tobytes() == _reduce_inline(pop, ids, model).tobytes()
+        assert mask.all()  # pre-churn snapshot untouched by the run
+
+    def test_empty_sample(self, model):
+        pop = ShardedUserPopulation(n_users=100, seed=7)
+        ids = pop.sample_users(np.random.default_rng(0), 0)
+        assert _reduce_ids(pop, ids, model, MICRO_BATCH).tobytes() == \
+            _reduce_inline(pop, ids, model).tobytes()
+
+    def test_workers_match_inline(self, model):
+        pop = ShardedUserPopulation(n_users=2_000, seed=9)
+        ids = pop.sample_users(np.random.default_rng(1), 300)
+        sharded = _reduce_ids(pop, ids, model, shard_size=MICRO_BATCH, workers=2)
+        assert sharded.tobytes() == _reduce_inline(pop, ids, model).tobytes()
+
+
+class TestJobSource:
+    def test_record_counts_for_matches_range(self):
+        pop = ShardedUserPopulation(n_users=1_000, shard_size=256, seed=3)
+        ids = np.array([0, 255, 256, 999])
+        expected = np.array([pop.record_counts(i, i + 1)[0] for i in ids])
+        assert np.array_equal(pop.record_counts_for(ids), expected)
+
+    def test_record_counts_for_bounds(self):
+        pop = ShardedUserPopulation(n_users=10, seed=3)
+        with pytest.raises(ValueError):
+            pop.record_counts_for(np.array([10]))
+
+    def test_jobs_deterministic_in_user_id(self):
+        # A user's records depend only on (data_seed, user_id): the same
+        # user materialised from different shard groupings is identical.
+        pop = ShardedUserPopulation(n_users=1_000, seed=3)
+        ids = pop.sample_users(np.random.default_rng(2), 40)
+        whole = materialise_shard_jobs(
+            pop.shard_job_source(ids, DATA_SEED, N_FEATURES)["spec"]
+        )
+        part = materialise_shard_jobs(
+            pop.shard_job_source(ids[10:20], DATA_SEED, N_FEATURES)["spec"]
+        )
+        for j_whole, j_part in zip(whole[10:20], part):
+            assert j_whole.x.tobytes() == j_part.x.tobytes()
+            assert j_whole.y.tobytes() == j_part.y.tobytes()
+
+    def test_min_records_floor(self):
+        pop = ShardedUserPopulation(n_users=100_000, seed=3)
+        ids = np.arange(99_000, 99_100)  # deep-tail users: tiny Zipf mass
+        spec = pop.shard_job_source(ids, DATA_SEED, N_FEATURES)["spec"]
+        assert spec["record_counts"].min() >= 1
+
+    def test_loader_rejects_zero_counts(self):
+        with pytest.raises(ValueError, match="at least one record"):
+            materialise_shard_jobs({
+                "user_ids": np.array([0]),
+                "record_counts": np.array([0]),
+                "data_seed": 0,
+                "n_features": 2,
+            })
