@@ -15,6 +15,12 @@
 #                       with [obs] on (faults cleared), then summarise the
 #                       resulting trace.jsonl
 #   make docs-check     doctest the docs' worked examples + docstring coverage
+#   make cost-check     bench-file schema + cost-model predictions vs the
+#                       committed BENCH_*.json (the static half of the CI
+#                       drift gate; docs/cost_model.md)
+#   make cost-drift     re-run the smoke benches, re-fit the calibration
+#                       constants, and assert they stay within 2x of the
+#                       committed src/repro/cost/calibration.json
 #
 # bench-engine, bench-protocol, bench-sim, bench-compress, and
 # bench-scaleout also refresh the machine-readable BENCH_engine.json /
@@ -25,7 +31,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress bench-scaleout sweep-smoke trace-smoke docs-check
+.PHONY: test bench bench-engine bench-protocol bench-sim bench-compress bench-scaleout sweep-smoke trace-smoke docs-check cost-check cost-drift
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -77,3 +83,21 @@ trace-smoke:
 docs-check:
 	$(PYTHON) tools/check_docstrings.py
 	$(PYTHON) -m doctest docs/privacy_accounting.md && echo "doctest OK: docs/privacy_accounting.md"
+
+# Static cost-model gate: bench files must conform to the schema and the
+# committed calibration must predict the committed BENCH numbers within
+# 2x (byte formulas exactly).
+cost-check:
+	$(PYTHON) tools/check_bench_schema.py
+	$(PYTHON) tools/check_cost_drift.py
+
+# Dynamic cost-model gate (what the CI cost-drift job runs): refresh the
+# bench files at smoke scale, re-fit the constants, and compare against
+# the committed calibration.  Writes cost-drift-report.json.
+cost-drift:
+	$(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -s
+	BENCH_PROTOCOL_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_protocol_speedup.py -s
+	$(PYTHON) -m pytest benchmarks/bench_sim_scale.py -s
+	BENCH_COMPRESSION_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_compression.py -s
+	BENCH_SCALEOUT_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_scaleout.py -s
+	$(PYTHON) tools/check_cost_drift.py --refit --report cost-drift-report.json

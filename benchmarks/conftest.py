@@ -15,14 +15,12 @@ from pathlib import Path
 import pytest
 
 from repro.core import Trainer
+from repro.cost.bench_schema import BENCH_SCHEMA, validate_bench_tree
 
 #: Machine-readable benchmark results land next to the repo root so the
 #: perf trajectory can be diffed across PRs (`BENCH_engine.json`,
 #: `BENCH_protocol.json`, `BENCH_sim.json`).
 RESULTS_DIR = Path(__file__).resolve().parent.parent
-
-#: Version tag stamped into every BENCH_*.json (bump on layout changes).
-BENCH_SCHEMA = "uldp-fl-bench/v1"
 
 
 def write_bench_json(filename: str, updates: dict) -> Path:
@@ -31,13 +29,22 @@ def write_bench_json(filename: str, updates: dict) -> Path:
     Each bench test contributes its own top-level keys, so partial runs
     (one test, one figure) refresh only their section.  Every write
     (re)stamps the schema tag and the host that produced the numbers, so
-    a BENCH file is never compared across machines by accident.
+    a BENCH file is never compared across machines by accident.  The
+    merged tree must conform to the bench schema -- these files are the
+    cost model's calibration corpus (docs/cost_model.md), so a NaN or a
+    mistyped leaf is rejected at write time, not at fit time.
     """
     path = RESULTS_DIR / filename
     data = json.loads(path.read_text()) if path.exists() else {}
     data.update(updates)
     data["schema"] = BENCH_SCHEMA
     data["host"] = host_info()
+    problems = validate_bench_tree(data, name=filename)
+    if problems:
+        raise ValueError(
+            f"{filename} would violate {BENCH_SCHEMA}:\n  "
+            + "\n  ".join(problems)
+        )
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 

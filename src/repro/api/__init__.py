@@ -28,6 +28,7 @@ from __future__ import annotations
 # name -> defining submodule, resolved on first attribute access.
 _LAZY_EXPORTS = {
     "CompressionSpec": "repro.compress",
+    "CostSpec": "repro.api.spec",
     "CryptoSpec": "repro.api.spec",
     "DatasetSpec": "repro.api.spec",
     "MethodSpec": "repro.api.spec",

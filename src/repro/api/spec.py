@@ -341,6 +341,42 @@ class EngineSpec:
             raise SpecError(f"backend must be one of {ARRAY_BACKENDS}")
 
 
+@dataclass(frozen=True)
+class CostSpec:
+    """Capacity-planning inputs for the symbolic cost model (``repro cost``).
+
+    Like ``[obs]``, this section is **excluded from the canonical spec
+    hash**: asking "what would this run cost?" or attaching budgets never
+    changes what the run computes, so it must not change the run's
+    identity (checkpoints resume across ``[cost]`` edits).
+
+    Budgets are consumed by ``repro cost --solve-for users`` and by
+    ``repro sweep`` pruning; ``bandwidth_mbps``/``retry_overhead`` add a
+    network-transfer term to the predicted wall clock (megabits/second
+    and expected retransmission fraction); ``calibration`` overrides the
+    committed ``calibration.json`` path.
+    """
+
+    budget_seconds: float | None = None
+    budget_uplink_bytes: float | None = None
+    budget_memory_bytes: float | None = None
+    bandwidth_mbps: float | None = None
+    retry_overhead: float = 0.0
+    calibration: str | None = None
+
+    def __post_init__(self):
+        for name in ("budget_seconds", "budget_uplink_bytes", "budget_memory_bytes"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise SpecError(f"{name} must be positive (or omitted)")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise SpecError("bandwidth_mbps must be positive (or omitted)")
+        if self.retry_overhead < 0:
+            raise SpecError("retry_overhead must be non-negative")
+        if self.calibration is not None and not self.calibration:
+            raise SpecError("calibration must be a non-empty path (or omitted)")
+
+
 # -- the root -----------------------------------------------------------------
 
 #: Section name -> dataclass of the subtree.
@@ -355,6 +391,7 @@ _SECTIONS: dict[str, type] = {
     "net": NetSpec,
     "obs": ObsSpec,
     "engine": EngineSpec,
+    "cost": CostSpec,
 }
 
 #: Scalar keys living directly on the root.
@@ -383,6 +420,7 @@ class RunSpec:
     net: NetSpec | None = None
     obs: ObsSpec | None = None
     engine: EngineSpec | None = None
+    cost: CostSpec | None = None
     #: Sweep axes: dotted config path -> list of values (one grid).
     sweep: dict = field(default_factory=dict)
 
@@ -483,6 +521,8 @@ class RunSpec:
             data["obs"] = dataclasses.asdict(self.obs)
         if self.engine is not None:
             data["engine"] = dataclasses.asdict(self.engine)
+        if self.cost is not None:
+            data["cost"] = dataclasses.asdict(self.cost)
         if self.sweep:
             data["sweep"] = {p: list(v) for p, v in self.sweep.items()}
         return data
@@ -546,12 +586,14 @@ class RunSpec:
     def canonical_json(self) -> str:
         """The canonical (sorted, compact) JSON the spec hash is taken over.
 
-        The ``obs`` section is excluded: observability never changes
-        what a run computes, so it must not change the run's identity
-        (see :class:`ObsSpec`).
+        The ``obs`` and ``cost`` sections are excluded: observability and
+        cost budgets never change what a run computes, so they must not
+        change the run's identity (see :class:`ObsSpec` /
+        :class:`CostSpec`).
         """
         data = self.to_dict()
         data.pop("obs", None)
+        data.pop("cost", None)
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def hash(self) -> str:

@@ -18,10 +18,24 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.api.runner import RunResult, run, validate_spec_names
 from repro.api.spec import RunSpec, SpecError, SweepPoint, expand_sweep
+
+
+@dataclass(frozen=True)
+class PrunedPoint:
+    """A grid point skipped by cost pruning, with the violated budget."""
+
+    point: SweepPoint
+    metric: str
+    predicted: float
+    budget: float
+
+    @property
+    def label(self) -> str:
+        return self.point.label or "(base)"
 
 
 @dataclass
@@ -31,6 +45,8 @@ class SweepResult:
     base: RunSpec
     points: list[SweepPoint]
     results: list[RunResult]
+    #: Grid points skipped by ``prune_cost_*`` budgets (never executed).
+    pruned: list[PrunedPoint] = field(default_factory=list)
 
     def __post_init__(self):
         if len(self.points) != len(self.results):
@@ -85,7 +101,54 @@ def _dataset_cache_key(spec: RunSpec) -> str | None:
     return json.dumps(key, sort_keys=True)
 
 
-def run_sweep(spec: RunSpec, workers: int | None = None) -> SweepResult:
+def _prune_points(
+    spec: RunSpec,
+    points: list[SweepPoint],
+    budget_seconds: float | None,
+    budget_bytes: float | None,
+) -> tuple[list[SweepPoint], list[PrunedPoint]]:
+    """Split grid points into (kept, pruned) by predicted whole-run cost.
+
+    A point the cost model cannot price (e.g. an unregistered model with
+    no shape metadata) is *kept*: pruning may only skip work it can prove
+    over budget, never silently drop an unmodelled configuration.
+    """
+    from repro.cost.calibrate import load_calibration
+    from repro.cost.planner import predict
+    from repro.cost.workload import CostError
+
+    calibration = load_calibration(
+        spec.cost.calibration if spec.cost is not None else None
+    )
+    kept: list[SweepPoint] = []
+    pruned: list[PrunedPoint] = []
+    for point in points:
+        try:
+            report = predict(point.spec, calibration=calibration)
+        except CostError:
+            kept.append(point)
+            continue
+        seconds = report.run_totals["seconds"]
+        uplink = report.run_totals["uplink_bytes"]
+        if budget_seconds is not None and seconds > budget_seconds:
+            pruned.append(
+                PrunedPoint(point, "run_seconds", seconds, budget_seconds)
+            )
+        elif budget_bytes is not None and uplink > budget_bytes:
+            pruned.append(
+                PrunedPoint(point, "run_uplink_bytes", uplink, budget_bytes)
+            )
+        else:
+            kept.append(point)
+    return kept, pruned
+
+
+def run_sweep(
+    spec: RunSpec,
+    workers: int | None = None,
+    prune_cost_seconds: float | None = None,
+    prune_cost_bytes: float | None = None,
+) -> SweepResult:
     """Expand and run a sweep spec; returns all grid-point results.
 
     Every grid point's registry names are validated before anything
@@ -100,10 +163,26 @@ def run_sweep(spec: RunSpec, workers: int | None = None) -> SweepResult:
             only -- simulator/dataset handles stay in-process, so
             sequential mode is what experiment post-processing that needs
             the simulator should use.
+        prune_cost_seconds: skip grid points whose cost-model predicted
+            whole-run wall-clock exceeds this many seconds (see
+            ``docs/cost_model.md``); skipped points land in
+            :attr:`SweepResult.pruned` and are never executed.
+        prune_cost_bytes: same, for predicted whole-run uplink bytes.
     """
     points = expand_sweep(spec)
     for point in points:
         validate_spec_names(point.spec)
+    pruned: list[PrunedPoint] = []
+    if prune_cost_seconds is not None or prune_cost_bytes is not None:
+        points, pruned = _prune_points(
+            spec, points, prune_cost_seconds, prune_cost_bytes
+        )
+        if not points:
+            raise SpecError(
+                f"cost pruning removed all {len(pruned)} grid points; "
+                "raise --prune-cost-seconds/--prune-cost-bytes or shrink "
+                "the workload"
+            )
     if workers is not None and workers < 1:
         raise SpecError("workers must be at least 1 (or None for sequential)")
     if workers is None or workers == 1 or len(points) == 1:
@@ -118,7 +197,9 @@ def run_sweep(spec: RunSpec, workers: int | None = None) -> SweepResult:
             if key is not None:
                 datasets[key] = result.dataset
             results.append(result)
-        return SweepResult(base=spec, points=points, results=results)
+        return SweepResult(
+            base=spec, points=points, results=results, pruned=pruned
+        )
 
     from concurrent.futures import ProcessPoolExecutor
 
@@ -138,4 +219,4 @@ def run_sweep(spec: RunSpec, workers: int | None = None) -> SweepResult:
         )
         for point, (payload, digest) in zip(points, payloads)
     ]
-    return SweepResult(base=spec, points=points, results=results)
+    return SweepResult(base=spec, points=points, results=results, pruned=pruned)

@@ -9,6 +9,10 @@ The declarative surface (one validated config tree, see ``docs/api.md``):
                    aggregated comparison table.
 - ``validate-config`` -- parse + validate spec files (registry names,
                    enum/range checks, sweep expansion) without running.
+- ``cost``      -- predict a spec's per-phase wall-clock / wire bytes /
+                   ciphertext counts / memory from the symbolic cost
+                   model (``docs/cost_model.md``), or invert it
+                   (``--solve-for users``) for capacity questions.
 
 Legacy flag surfaces, kept as thin shims that construct the equivalent
 ``RunSpec`` (their histories are bit-identical to the spec path -- oracle
@@ -432,16 +436,57 @@ def cmd_sweep(args) -> int:
                 '[sweep] "method.sigma" = [0.5, 1.0] (or use `repro run`)'
             )
         # run_sweep validates every grid point's registry names up front.
-        sweep = run_sweep(spec, workers=args.workers)
+        sweep = run_sweep(
+            spec,
+            workers=args.workers,
+            prune_cost_seconds=args.prune_cost_seconds,
+            prune_cost_bytes=args.prune_cost_bytes,
+        )
     except (NotImplementedError, ValueError, UnknownNameError) as exc:
         return _fail(exc)
     print(f"{spec.name}: {len(sweep.results)} runs (base spec {spec.hash()})\n")
+    if sweep.pruned:
+        print(f"cost pruning skipped {len(sweep.pruned)} grid point(s):")
+        for item in sweep.pruned:
+            print(
+                f"  {item.label}: predicted {item.metric} "
+                f"{item.predicted:.4g} > budget {item.budget:.4g}"
+            )
+        print()
     print(sweep.table())
     if args.output:
         from repro.report import save_histories
 
         save_histories(sweep.histories, args.output)
         print(f"\n{len(sweep.histories)} histories saved to {args.output}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    """Predict per-phase cost of a spec, or invert for a user capacity."""
+    from repro.cost.calibrate import load_calibration
+    from repro.cost.planner import predict, solve_max_users
+
+    try:
+        spec = _spec_from_config_args(args)
+        calibration = (
+            load_calibration(args.calibration) if args.calibration else None
+        )
+        if args.solve_for:
+            answer = solve_max_users(
+                spec,
+                budget_seconds=args.budget_seconds,
+                budget_uplink_bytes=args.budget_uplink_bytes,
+                budget_memory_bytes=args.budget_memory_bytes,
+                calibration=calibration,
+            )
+            print(f"{spec.name} (spec {spec.hash()})")
+            print(answer.render())
+        else:
+            report = predict(spec, calibration=calibration)
+            print(report.render())
+    except (OSError, ValueError, UnknownNameError) as exc:
+        return _fail(exc)
     return 0
 
 
@@ -571,9 +616,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dotted-path override; sweep.<path>=[..] sets an axis")
     sweep_p.add_argument("--workers", type=int, default=None,
                          help="run grid points across a process pool")
+    sweep_p.add_argument("--prune-cost-seconds", type=float, default=None,
+                         help="skip grid points whose predicted whole-run "
+                         "wall-clock exceeds this (cost model; logged)")
+    sweep_p.add_argument("--prune-cost-bytes", type=float, default=None,
+                         help="skip grid points whose predicted whole-run "
+                         "uplink bytes exceed this (cost model; logged)")
     sweep_p.add_argument("--output", type=str, default=None,
                          help="write all child histories JSON here")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    cost_p = sub.add_parser(
+        "cost",
+        help="predict a spec's per-phase cost (seconds/bytes/ciphertexts/"
+        "memory) or solve capacity questions",
+    )
+    cost_p.add_argument("--config", type=str, default=None,
+                        help="spec file; defaults apply when omitted")
+    cost_p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                        help="dotted-path override, e.g. dataset.n_users=1e6")
+    cost_p.add_argument("--calibration", type=str, default=None,
+                        help="calibration.json to price with (default: the "
+                        "committed fit, or the spec's [cost].calibration)")
+    cost_p.add_argument("--solve-for", choices=["users"], default=None,
+                        help="invert the model: max users within the budgets")
+    cost_p.add_argument("--budget-seconds", type=float, default=None,
+                        help="per-round wall-clock budget for --solve-for")
+    cost_p.add_argument("--budget-uplink-bytes", type=float, default=None,
+                        help="per-round uplink byte budget for --solve-for")
+    cost_p.add_argument("--budget-memory-bytes", type=float, default=None,
+                        help="whole-run resident memory budget for --solve-for")
+    cost_p.set_defaults(func=cmd_cost)
 
     val = sub.add_parser(
         "validate-config", help="validate spec files without running them"

@@ -180,8 +180,13 @@ class UldpAvg(FLMethod):
             if active == 0:
                 # Every silo is down: the round releases nothing and costs
                 # no budget (logged so the honesty report sees the gap).
+                # Silos that fetched the model before failing to
+                # contribute still consumed broadcast bytes (dense: there
+                # is no update to compress).
                 self.last_participation = ParticipationSummary(0, 0)
-                self.last_comm = CommSummary(0, 0)
+                self.last_comm = CommSummary(
+                    0, params.size * 8 * participation.n_broadcast_silos
+                )
                 self.accountant.step_release(
                     self.noise_multiplier, sample_rate=q if q else 1.0,
                     sensitivity=0.0, noise_scale=0.0,
@@ -245,7 +250,13 @@ class UldpAvg(FLMethod):
             if self._round_uplink_bytes is not None
             else silos_seen * params.size * 8
         )
-        self.last_comm = CommSummary(uplink, downlink_per_silo * silos_seen)
+        # Downlink recipients are the silos that fetched the broadcast at
+        # round start -- a superset of the contributors when deadline or
+        # bandwidth filtering bit after the download.
+        recipients = (
+            fed.n_silos if participation is None else participation.n_broadcast_silos
+        )
+        self.last_comm = CommSummary(uplink, downlink_per_silo * recipients)
         self._round_uplink_bytes = None
         return params + update
 

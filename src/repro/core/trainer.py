@@ -284,7 +284,7 @@ class Trainer:
         t = self._round
         self.history.round_seconds.append(seconds)
         self.history.participation.append(self._participation_record(t, participation))
-        self.history.comm.append(self._comm_record(t))
+        self.history.comm.append(self._comm_record(t, participation))
         self._round += 1
         self._record_round_metrics(seconds)
         record = None
@@ -357,19 +357,30 @@ class Trainer:
             t + 1, participation.n_active_silos, self.fed.n_users
         )
 
-    def _comm_record(self, t: int) -> CommRecord:
+    def _comm_record(
+        self, t: int, participation: RoundParticipation | None
+    ) -> CommRecord:
         """The round's wire traffic (method-reported when known).
 
         Methods that track bytes themselves (the compressing ULDP-AVG
         family) report through ``last_comm``; everything else is charged
         the dense float64 default so byte columns stay comparable.
+        Downlink in the dense default goes to the round's broadcast
+        recipients (silos alive at round start), not just the
+        contributors -- a deadline-missing silo still downloaded the
+        model.
         """
         summary = self.method.last_comm
         if summary is not None:
             return CommRecord(t + 1, summary.uplink_bytes, summary.downlink_bytes)
         silos_seen = self.history.participation[-1].silos_seen
+        recipients = (
+            self.fed.n_silos
+            if participation is None
+            else participation.n_broadcast_silos
+        )
         dense = self._params.size * 8
-        return CommRecord(t + 1, silos_seen * dense, silos_seen * dense)
+        return CommRecord(t + 1, silos_seen * dense, recipients * dense)
 
     def _evaluate(self) -> RoundRecord:
         """Evaluate the current params; appends and returns the record."""

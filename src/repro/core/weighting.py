@@ -143,6 +143,13 @@ class RoundParticipation:
             ``sigma * C``; when False silos keep the nominal
             ``sigma * C / sqrt(|S|)`` share and the accountant is charged
             the reduced ``sqrt(A / |S|)`` noise scale instead.
+        broadcast_mask: boolean (|S|,) -- True for silos that received the
+            server's model broadcast this round (silos alive at round
+            start, *before* deadline or bandwidth-admission filtering), or
+            None when the recipients are exactly ``silo_mask``.  The byte
+            ledger charges downlink to these recipients: a silo that got
+            the model but then missed the deadline still consumed
+            broadcast bytes.
     """
 
     silo_mask: np.ndarray
@@ -150,6 +157,7 @@ class RoundParticipation:
     silo_gain: np.ndarray | None = None
     renorm: str = "none"
     noise_rescale: bool = True
+    broadcast_mask: np.ndarray | None = None
 
     def __post_init__(self):
         if self.renorm not in RENORMS:
@@ -175,11 +183,23 @@ class RoundParticipation:
             if np.any(gain < 0):
                 raise ValueError("silo gains must be non-negative")
             object.__setattr__(self, "silo_gain", gain)
+        if self.broadcast_mask is not None:
+            object.__setattr__(
+                self, "broadcast_mask", np.asarray(self.broadcast_mask, dtype=bool)
+            )
 
     @property
     def n_active_silos(self) -> int:
         """Number of silos contributing to this round's aggregate."""
         return int(self.silo_mask.sum())
+
+    @property
+    def n_broadcast_silos(self) -> int:
+        """Number of silos the server's broadcast reached this round."""
+        mask = (
+            self.broadcast_mask if self.broadcast_mask is not None else self.silo_mask
+        )
+        return int(mask.sum())
 
     @classmethod
     def full(cls, n_silos: int, n_users: int | None = None) -> "RoundParticipation":

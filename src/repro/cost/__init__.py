@@ -1,0 +1,52 @@
+"""Closed-form cost model + capacity planner for Uldp-FL runs.
+
+Three layers (see docs/cost_model.md):
+
+- :mod:`repro.cost.model` -- per-phase **sympy expressions** for
+  wall-clock seconds, uplink/downlink bytes, ciphertext/mask-element
+  counts, and resident memory, composed from any :class:`repro.api.RunSpec`
+  (per-method, per-crypto-backend, engine, compression, and sim terms).
+- :mod:`repro.cost.calibrate` -- fits the expressions' leading constants
+  from the committed ``BENCH_*.json`` files (schema ``uldp-fl-bench/v1``)
+  and persists them as a versioned ``calibration.json``.
+- :mod:`repro.cost.planner` -- substitutes concrete numbers, renders
+  per-phase breakdown tables, and inverts the expressions for capacity
+  questions ("max users per round under X seconds / Y bytes").
+
+Surfaced as ``repro cost`` and as ``repro sweep --prune-cost-seconds``;
+``tools/check_cost_drift.py`` is the CI gate that keeps predictions
+within 2x of fresh measurements.
+"""
+
+from repro.cost.calibrate import (
+    Calibration,
+    fit_calibration,
+    load_calibration,
+)
+from repro.cost.model import (
+    METRICS,
+    CostModel,
+    PhaseCost,
+    build_cost_model,
+    ciphertext_bytes_expr,
+    keep_count_expr,
+    payload_bytes_expr,
+)
+from repro.cost.planner import CostError, CostReport, predict, solve_max_users
+
+__all__ = [
+    "METRICS",
+    "Calibration",
+    "CostError",
+    "CostModel",
+    "CostReport",
+    "PhaseCost",
+    "build_cost_model",
+    "ciphertext_bytes_expr",
+    "fit_calibration",
+    "keep_count_expr",
+    "load_calibration",
+    "payload_bytes_expr",
+    "predict",
+    "solve_max_users",
+]

@@ -1,0 +1,92 @@
+"""Validation of ``BENCH_*.json`` files against schema ``uldp-fl-bench/v1``.
+
+The committed bench files are the cost model's calibration corpus, so
+their shape is a contract: a top-level ``schema`` tag, a ``host`` table
+with machine metadata, and named result sections whose numeric leaves
+are finite (a NaN that slips into a fit poisons every constant).
+:func:`repro.cost.calibrate.fit_calibration` refuses unvalidated trees;
+``benchmarks/conftest.write_bench_json`` validates on every write; and
+``tools/check_bench_schema.py`` runs the same checks in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+BENCH_SCHEMA = "uldp-fl-bench/v1"
+
+#: Required ``host`` fields and their types.
+HOST_FIELDS: dict[str, type] = {
+    "cpu_count": int,
+    "platform": str,
+    "python": str,
+    "timestamp": str,
+}
+
+#: Leaf types a bench value may take.
+_LEAF_TYPES = (bool, int, float, str)
+
+
+def _check_leaves(value, path: str, problems: list[str]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if not isinstance(key, str):
+                problems.append(f"{path}: non-string key {key!r}")
+            else:
+                _check_leaves(sub, f"{path}.{key}", problems)
+    elif isinstance(value, (list, tuple)):
+        for i, sub in enumerate(value):
+            _check_leaves(sub, f"{path}[{i}]", problems)
+    elif isinstance(value, float):
+        if not math.isfinite(value):
+            problems.append(f"{path}: non-finite number {value!r}")
+    elif value is not None and not isinstance(value, _LEAF_TYPES):
+        problems.append(
+            f"{path}: unsupported value type {type(value).__name__}"
+        )
+
+
+def validate_bench_tree(tree, name: str = "bench") -> list[str]:
+    """All schema problems of one loaded bench tree (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(tree, dict):
+        return [f"{name}: root must be a table, got {type(tree).__name__}"]
+    schema = tree.get("schema")
+    if schema != BENCH_SCHEMA:
+        problems.append(
+            f"{name}.schema: expected {BENCH_SCHEMA!r}, got {schema!r}"
+        )
+    host = tree.get("host")
+    if not isinstance(host, dict):
+        problems.append(f"{name}.host: missing or not a table")
+    else:
+        for field, typ in HOST_FIELDS.items():
+            value = host.get(field)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                problems.append(
+                    f"{name}.host.{field}: expected {typ.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+        if isinstance(host.get("cpu_count"), int) and host["cpu_count"] < 1:
+            problems.append(f"{name}.host.cpu_count: must be >= 1")
+    sections = [k for k in tree if k not in ("schema", "host")]
+    if not sections:
+        problems.append(f"{name}: no result sections")
+    for section in sections:
+        if not isinstance(tree[section], dict):
+            problems.append(f"{name}.{section}: section must be a table")
+        else:
+            _check_leaves(tree[section], f"{name}.{section}", problems)
+    return problems
+
+
+def validate_bench_file(path: str | Path) -> list[str]:
+    """Schema problems of one ``BENCH_*.json`` file on disk."""
+    path = Path(path)
+    try:
+        tree = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    return validate_bench_tree(tree, name=path.name)

@@ -249,6 +249,11 @@ class FederationSimulator:
             observed = np.asarray(self.external_dropout, dtype=bool)
             up = up & observed
             observed_down = int((~observed).sum())
+        # Silos alive here received the round's model broadcast: dropout
+        # (and an observed outage) keeps a silo from even fetching the
+        # model, but deadline misses and bandwidth rejection happen
+        # *after* the download, so those silos still consumed downlink.
+        broadcast = up.copy()
         latency = config.latency.draw(t, self.fed.n_silos, self.sim_rng)
         payload_bytes = None
         if config.bandwidth is not None:
@@ -275,6 +280,7 @@ class FederationSimulator:
             silo_gain=gains,
             renorm=config.renorm,
             noise_rescale=config.noise_rescale,
+            broadcast_mask=broadcast,
         )
         self.trainer.step(participation)
         # A silo that contributed is caught up; one that missed owes one

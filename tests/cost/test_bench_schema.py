@@ -1,0 +1,112 @@
+"""The bench-file schema contract (repro.cost.bench_schema)."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cost.bench_schema import (
+    BENCH_SCHEMA,
+    validate_bench_file,
+    validate_bench_tree,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def good_tree() -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "host": {
+            "cpu_count": 8,
+            "platform": "Linux",
+            "python": "3.12.0",
+            "timestamp": "2026-01-01T00:00:00+00:00",
+        },
+        "some_section": {"seconds": 1.5, "label": "x", "counts": [1, 2]},
+    }
+
+
+class TestValidateTree:
+    def test_good_tree_passes(self):
+        assert validate_bench_tree(good_tree()) == []
+
+    def test_wrong_schema_tag(self):
+        tree = dict(good_tree(), schema="uldp-fl-bench/v0")
+        assert any("schema" in p for p in validate_bench_tree(tree))
+
+    def test_missing_host_field(self):
+        tree = good_tree()
+        del tree["host"]["cpu_count"]
+        assert any("cpu_count" in p for p in validate_bench_tree(tree))
+
+    def test_nan_leaf_rejected(self):
+        tree = good_tree()
+        tree["some_section"]["seconds"] = math.nan
+        problems = validate_bench_tree(tree)
+        assert any("non-finite" in p for p in problems)
+
+    def test_bool_cpu_count_rejected(self):
+        tree = good_tree()
+        tree["host"]["cpu_count"] = True
+        assert any("cpu_count" in p for p in validate_bench_tree(tree))
+
+    def test_no_sections_rejected(self):
+        tree = good_tree()
+        del tree["some_section"]
+        assert any("no result sections" in p for p in validate_bench_tree(tree))
+
+    def test_non_table_root(self):
+        assert validate_bench_tree([1, 2]) != []
+
+
+class TestCommittedFiles:
+    """Every committed BENCH_*.json is valid calibration input."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(REPO_ROOT.glob("BENCH_*.json")), ids=lambda p: p.name
+    )
+    def test_committed_file_valid(self, path):
+        assert validate_bench_file(path) == []
+
+    def test_bench_corpus_present(self):
+        # The calibration corpus the cost model is fitted from.
+        names = {p.name for p in REPO_ROOT.glob("BENCH_*.json")}
+        assert {
+            "BENCH_engine.json",
+            "BENCH_protocol.json",
+            "BENCH_compression.json",
+            "BENCH_scaleout.json",
+            "BENCH_sim.json",
+        } <= names
+
+
+def _load_bench_conftest():
+    # Load by explicit path: a bare ``import conftest`` would collide
+    # with whichever conftest.py pytest imported first in a full run.
+    import importlib.util
+
+    path = REPO_ROOT / "benchmarks" / "conftest.py"
+    spec = importlib.util.spec_from_file_location("bench_conftest", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestWriterRejectsBadTrees:
+    def test_write_bench_json_refuses_nan(self, tmp_path, monkeypatch):
+        bench_conftest = _load_bench_conftest()
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path)
+        with pytest.raises(ValueError, match="non-finite"):
+            bench_conftest.write_bench_json(
+                "BENCH_x.json", {"section": {"seconds": math.inf}}
+            )
+        assert not (tmp_path / "BENCH_x.json").exists()
+
+    def test_write_bench_json_accepts_good_tree(self, tmp_path, monkeypatch):
+        bench_conftest = _load_bench_conftest()
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path)
+        path = bench_conftest.write_bench_json(
+            "BENCH_x.json", {"section": {"seconds": 1.0}}
+        )
+        assert validate_bench_file(path) == []

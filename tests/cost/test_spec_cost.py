@@ -1,0 +1,60 @@
+"""The [cost] spec section: validation, hash invariance, overrides."""
+
+import pytest
+
+from repro.api.spec import RunSpec, SpecError, apply_overrides
+
+BASE = {
+    "name": "priced-spec",
+    "dataset": {"users": 20, "silos": 2, "records": 200},
+}
+
+
+class TestHashInvariance:
+    def test_cost_section_never_changes_the_spec_hash(self):
+        """[cost] is an observer's annotation, like [obs]: two runs that
+        differ only in cost budgets are the same experiment."""
+        plain = RunSpec.from_dict(BASE)
+        priced = RunSpec.from_dict(
+            {**BASE, "cost": {"budget_seconds": 30.0, "bandwidth_mbps": 100.0}}
+        )
+        assert priced.hash() == plain.hash()
+        assert "cost" not in plain.canonical_json()
+
+    def test_to_dict_round_trips_cost(self):
+        tree = {**BASE, "cost": {"budget_uplink_bytes": 1e6, "retry_overhead": 0.1}}
+        spec = RunSpec.from_dict(tree)
+        assert spec.cost.budget_uplink_bytes == 1e6
+        assert spec.cost.retry_overhead == 0.1
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.cost == spec.cost
+        assert again.hash() == spec.hash()
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SpecError, match="budget_seconds"):
+            RunSpec.from_dict({**BASE, "cost": {"budget_seconds": -1.0}})
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SpecError, match="bandwidth_mbps"):
+            RunSpec.from_dict({**BASE, "cost": {"bandwidth_mbps": 0.0}})
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(SpecError, match="retry_overhead"):
+            RunSpec.from_dict({**BASE, "cost": {"retry_overhead": -0.5}})
+
+    def test_unknown_cost_key_suggests(self):
+        with pytest.raises(SpecError, match="budget_seconds"):
+            RunSpec.from_dict({**BASE, "cost": {"budget_secs": 5.0}})
+
+
+class TestOverrides:
+    def test_dotted_path_sets_cost_budget(self):
+        tree = apply_overrides(dict(BASE), {"cost.budget_seconds": 12.5})
+        spec = RunSpec.from_dict(tree)
+        assert spec.cost.budget_seconds == 12.5
+
+    def test_typo_in_cost_path_suggests(self):
+        with pytest.raises(SpecError, match="cost.budget_seconds"):
+            apply_overrides(dict(BASE), {"cost.budget_second": 12.5})

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Validate committed ``BENCH_*.json`` files against ``uldp-fl-bench/v1``.
+
+The bench files are the cost model's calibration corpus
+(docs/cost_model.md), so CI refuses malformed ones: a missing host
+field, a non-numeric measurement, or a NaN that would poison a fit.
+
+Usage::
+
+    python tools/check_bench_schema.py [FILES...]
+
+With no arguments, checks every ``BENCH_*.json`` at the repo root.
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cost.bench_schema import validate_bench_file  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        problems = validate_bench_file(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {path}")
+    if failures:
+        print(f"\n{failures} of {len(files)} bench files violate the schema")
+        return 1
+    print(f"\nall {len(files)} bench files conform to uldp-fl-bench/v1")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
